@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+Every benchmark runs the real experiment code on reduced settings
+(``fast=True`` row counts, fewer repetitions, method subsets) so the
+whole suite completes on a laptop in minutes while still exercising the
+full pipeline of each paper table/figure.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.masking import MissingSpec, inject_missing
+
+
+@pytest.fixture(scope="session")
+def lake_trial():
+    """A mid-size lake trial reused by the kernel benchmarks."""
+    data = load_dataset("lake", n_rows=300)
+    x_missing, mask = inject_missing(
+        data.values,
+        MissingSpec(missing_rate=0.1, columns=data.attribute_columns),
+        random_state=0,
+    )
+    return data, x_missing, mask
+
+
+def print_result_table(title: str, results) -> None:
+    """Print an experiment's result table below the benchmark output."""
+    from repro.experiments.reporting import format_series, format_table
+
+    if results and all(isinstance(v, dict) for v in results.values()):
+        text = format_table(results, title=title)
+    else:
+        text = format_series(results, title=title)
+    print(f"\n{text}\n")  # noqa: T201

@@ -1,0 +1,42 @@
+"""Benchmarks for the design-choice ablations (DESIGN.md Section 6)."""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    ablation_clipping,
+    ablation_initialisation,
+    ablation_landmark_source,
+)
+
+from conftest import print_result_table
+
+
+def test_ablation_landmark_source(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_landmark_source(n_runs=2, fast=True),
+        rounds=1, iterations=1,
+    )
+    print_result_table("Ablation: landmark source", result)
+    row = result["lake/smfl"]
+    # Data-adaptive sources should not lose to uniform-random landmarks.
+    assert min(row["kmeans"], row["medoid"]) <= row["random"] * 1.1
+
+
+def test_ablation_initialisation(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_initialisation(n_runs=2, fast=True),
+        rounds=1, iterations=1,
+    )
+    print_result_table("Ablation: initialisation", result)
+    row = result["lake/smfl"]
+    assert row["landmark"] <= row["random"] * 1.05
+
+
+def test_ablation_clipping(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_clipping(n_runs=2, fast=True),
+        rounds=1, iterations=1,
+    )
+    print_result_table("Ablation: observed-range clipping", result)
+    for row in result.values():
+        assert row["clip"] <= row["no-clip"] * 1.05

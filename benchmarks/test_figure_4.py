@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 4 (downstream applications).
+
+Figure 4a: accumulated fuel-consumption error per imputation method on
+the vehicle route-planning application - SMFL lowest in the paper.
+Figure 4b: clustering accuracy per MF-family method on the lake data -
+SMFL highest in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure_4a, figure_4b
+
+from conftest import print_result_table
+
+
+def test_figure_4a_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_4a(
+            methods=("knn", "iterative", "nmf", "smf", "smfl"),
+            n_runs=1, n_routes=15, fast=True,
+        ),
+        rounds=1, iterations=1,
+    )
+    print_result_table("Figure 4a: accumulated fuel error (reduced)", result)
+    assert all(v >= 0 for v in result.values())
+
+
+def test_figure_4b_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_4b(
+            methods=("mc", "softimpute", "nmf", "smf", "smfl", "pca"),
+            n_runs=1, fast=True,
+        ),
+        rounds=1, iterations=1,
+    )
+    print_result_table("Figure 4b: clustering accuracy (reduced)", result)
+    assert all(0 <= v <= 1 for v in result.values())

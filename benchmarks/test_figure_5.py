@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 5 (learned feature locations).
+
+Paper's Figure 5: features learned by SMF (gradient and multiplicative
+variants) drift far outside the observation region, while SMFL's
+landmark-anchored features sit exactly on K-means centers inside it.
+The quantitative form asserted here: SMFL's inside-bounding-box
+fraction is 1.0 and at least matches both SMF variants.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure_5
+
+
+def test_figure_5_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_5(rank=5, seed=0, fast=True),
+        rounds=1, iterations=1,
+    )
+    inside = {
+        label: result[f"{label}_inside_fraction"]
+        for label in ("smf_gd", "smf_multi", "smfl")
+    }
+    print(f"\nFigure 5 inside-observation-box fractions: {inside}\n")  # noqa: T201
+    assert result["smfl_inside_fraction"] == 1.0
+    assert result["smfl_inside_fraction"] >= result["smf_gd_inside_fraction"]
+    assert result["smfl_inside_fraction"] >= result["smf_multi_inside_fraction"]

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 6 (varying the regularization lambda).
+
+Paper's Figure 6 shape: RMS vs lambda is U-shaped - too small a lambda
+ignores spatial smoothness, too large over-smooths; SMFL tracks below
+SMF across most of the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure_6
+
+from conftest import print_result_table
+
+
+def test_figure_6_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_6(
+            datasets=("lake",), lams=(0.001, 0.1, 10.0), n_runs=1, fast=True
+        ),
+        rounds=1, iterations=1,
+    )
+    print_result_table("Figure 6: lambda sweep (lake, reduced)", result)
+    assert set(result) == {"lake/smf", "lake/smfl"}

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 7 (varying the neighbour count p).
+
+Paper's Figure 7 shape: a moderately small p (the paper finds p = 3)
+works best; very large p links weakly related tuples and degrades both
+SMF and SMFL.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure_7
+
+from conftest import print_result_table
+
+
+def test_figure_7_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_7(datasets=("lake",), ps=(1, 3, 10), n_runs=1, fast=True),
+        rounds=1, iterations=1,
+    )
+    print_result_table("Figure 7: p sweep (lake, reduced)", result)
+    assert set(result["lake/smfl"]) == {"1", "3", "10"}

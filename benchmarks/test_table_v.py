@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table V (imputation RMS, spatial info missing).
+
+Paper's Table V shape: every method degrades versus Table IV because
+the spatial information itself is incomplete; SMFL stays ahead in the
+paper, while this reproduction records a partial deviation (see
+EXPERIMENTS.md) - regression-based Iterative is the hardest baseline
+on the synthetic stand-ins.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import table_v
+
+from conftest import print_result_table
+
+METHODS = ("knn", "dlm", "iterative", "nmf", "smf", "smfl")
+
+
+def test_table_v_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: table_v(methods=METHODS, n_runs=1, fast=True),
+        rounds=1, iterations=1,
+    )
+    print_result_table("Table V (reduced scale, 1 run)", result)
+    for dataset, row in result.items():
+        assert all(v > 0 for v in row.values()), dataset

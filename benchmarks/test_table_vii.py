@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table VII (NMF/SMF/SMFL vs missing rate).
+
+Paper's Table VII shape: SMFL <= SMF < NMF in every cell; all methods
+degrade slowly as the missing rate rises from 10% to 50%; NMF is
+roughly flat but high.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table_vii
+
+from conftest import print_result_table
+
+
+def test_table_vii_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: table_vii(
+            datasets=("lake",), missing_rates=(0.1, 0.3, 0.5),
+            n_runs=1, fast=True,
+        ),
+        rounds=1, iterations=1,
+    )
+    print_result_table("Table VII (lake, reduced scale, 1 run)", result)
+    assert set(result) == {"lake/nmf", "lake/smf", "lake/smfl"}

@@ -1,0 +1,66 @@
+"""End-to-end data repair (Table VI): detect dirty cells, then fix them.
+
+The repair task of Section IV-B2: values have been *replaced* by other
+in-domain values (not removed), so the pipeline is detect -> correct.
+This script runs both detector modes - the evaluation oracle (injected
+cells known) and the statistical detector - and compares the MF-family
+correctors against the Baran/HoloClean-style baselines.
+
+Run:  python examples/repair_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import make_imputer
+from repro.data import load_dataset
+from repro.masking import ErrorSpec, inject_errors
+from repro.metrics import rms_over_mask
+from repro.repair import (
+    BaranRepairer,
+    HoloCleanRepairer,
+    MFRepairer,
+    OracleDetector,
+    StatisticalDetector,
+)
+
+
+def main() -> None:
+    data = load_dataset("vehicle", n_rows=400, random_state=None)
+    x_dirty, dirty_mask = inject_errors(
+        data.values, ErrorSpec(error_rate=0.10), random_state=0
+    )
+    print(f"injected {dirty_mask.n_unobserved} dirty cells "
+          f"({dirty_mask.n_unobserved / dirty_mask.observed.size:.1%})")
+    print(f"dirty-matrix RMS vs truth: "
+          f"{rms_over_mask(x_dirty, data.values, dirty_mask):.4f}\n")
+
+    repairers = {
+        "baran": BaranRepairer(random_state=0),
+        "holoclean": HoloCleanRepairer(),
+        "nmf": MFRepairer(make_imputer("nmf", rank=6, random_state=0)),
+        "smf": MFRepairer(make_imputer("smf", n_spatial=2, rank=6, random_state=0)),
+        "smfl": MFRepairer(make_imputer("smfl", n_spatial=2, rank=6, random_state=0)),
+    }
+
+    print("repair RMS with the evaluation oracle detector (Table VI mode):")
+    oracle = OracleDetector(dirty_mask)
+    detected = oracle.detect(x_dirty)
+    for name, repairer in repairers.items():
+        fixed = repairer.repair(x_dirty, detected)
+        print(f"  {name:10s} {rms_over_mask(fixed, data.values, dirty_mask):.4f}")
+
+    print("\nrepair RMS with the statistical detector (fully blind):")
+    detector = StatisticalDetector(threshold=3.0)
+    blind = detector.detect(x_dirty)
+    flagged = blind.unobserved.sum()
+    truly_dirty = (blind.unobserved & dirty_mask.unobserved).sum()
+    print(f"  detector flagged {flagged} cells "
+          f"({truly_dirty} of them actually dirty)")
+    for name, repairer in repairers.items():
+        fixed = repairer.repair(x_dirty, blind)
+        # Evaluation is still against the injected cells.
+        print(f"  {name:10s} {rms_over_mask(fixed, data.values, dirty_mask):.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Vehicle route planning on an imputed fuel-consumption map (Fig. 4a).
+
+The paper's motivating application: a heavy-machine fleet wants routes
+with low accumulated fuel consumption, but the fuel-rate map has holes
+(broken sensors).  Better imputation -> more accurate accumulated-
+consumption estimates -> better route choices.
+
+This script imputes the vehicle dataset's missing fuel rates with
+several methods, simulates candidate routes, and reports each method's
+accumulated-consumption error - and how often it changes which of two
+candidate routes looks cheaper.
+
+Run:  python examples/vehicle_route_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import generate_routes, route_fuel_consumption, route_planning_error
+from repro.baselines import make_imputer
+from repro.data import load_dataset
+from repro.masking import MissingSpec, inject_missing
+
+METHODS = ("mean", "knn", "iterative", "nmf", "smf", "smfl")
+
+
+def main() -> None:
+    data = load_dataset("vehicle", n_rows=500, random_state=None)
+    fuel_col = data.column_names.index("fuel_consumption_rate")
+    x_missing, mask = inject_missing(
+        data.values,
+        MissingSpec(missing_rate=0.10, columns=data.attribute_columns),
+        random_state=0,
+    )
+    locations = data.spatial
+    routes = generate_routes(locations, 40, route_length=8, random_state=0)
+    true_rates = data.values[:, fuel_col]
+
+    print("accumulated fuel-consumption error per imputation method")
+    print("(mean absolute error across 40 simulated routes; lower is better)\n")
+    errors = {}
+    for method in METHODS:
+        imputer = make_imputer(method, n_spatial=data.n_spatial, rank=6, random_state=0)
+        estimate = imputer.fit_impute(x_missing, mask)
+        errors[method] = route_planning_error(
+            routes, locations, true_rates, estimate[:, fuel_col]
+        )
+        print(f"  {method:10s} {errors[method]:.5f}")
+
+    # How often would the planner pick the wrong route of a random pair?
+    print("\nwrong-route decisions out of 100 route pairs:")
+    rng = np.random.default_rng(1)
+    pairs = [(routes[i], routes[j]) for i, j in
+             rng.integers(len(routes), size=(100, 2)) if i != j]
+    for method in METHODS:
+        imputer = make_imputer(method, n_spatial=data.n_spatial, rank=6, random_state=0)
+        estimate = imputer.fit_impute(x_missing, mask)[:, fuel_col]
+        wrong = 0
+        for route_a, route_b in pairs:
+            true_cheaper = (
+                route_fuel_consumption(route_a, locations, true_rates)
+                < route_fuel_consumption(route_b, locations, true_rates)
+            )
+            est_cheaper = (
+                route_fuel_consumption(route_a, locations, estimate)
+                < route_fuel_consumption(route_b, locations, estimate)
+            )
+            wrong += true_cheaper != est_cheaper
+        print(f"  {method:10s} {wrong}/{len(pairs)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim enabling legacy editable installs (`pip install -e .`)
+on environments without the `wheel` package (PEP 660 editable builds
+need `bdist_wheel`; `setup.py develop` does not)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Downstream applications of Section IV-B3/4 (Figure 4).
+
+- :mod:`repro.apps.routing` - vehicle route planning: accumulate fuel
+  consumption along routes over an imputed fuel-rate map (Figure 4a);
+- :mod:`repro.apps.clustering` - clustering with missing values:
+  impute, then cluster, then score accuracy against ground-truth
+  regions (Figure 4b).
+"""
+
+from .routing import Route, generate_routes, route_fuel_consumption, route_planning_error
+from .clustering import cluster_with_missing_values, clustering_application_accuracy
+
+__all__ = [
+    "Route",
+    "generate_routes",
+    "route_fuel_consumption",
+    "route_planning_error",
+    "cluster_with_missing_values",
+    "clustering_application_accuracy",
+]

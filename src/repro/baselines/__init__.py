@@ -1,0 +1,58 @@
+"""The 12 competitor methods of Section IV-A3.
+
+Every imputer implements the :class:`~repro.baselines.base.Imputer`
+protocol (``fit_impute(x, mask) -> x_hat``), so the experiment harness
+treats the paper's proposal and the baselines uniformly:
+
+==================  ====================================================
+Name                Module / paper reference
+==================  ====================================================
+``mean``            :mod:`meanimpute` (utility baseline)
+``knn``             :mod:`knn` - nearest neighbours [6]
+``knne``            :mod:`knne` - kNN Ensemble [16]
+``loess``           :mod:`loess` - local regression [13]
+``iim``             :mod:`iim` - individual regression models [47]
+``mc``              :mod:`mc` - nuclear-norm matrix completion [10]
+``dlm``             :mod:`dlm` - distance likelihood maximisation [38]
+``softimpute``      :mod:`softimpute` - soft-thresholded SVD [35]
+``iterative``       :mod:`iterative` - MICE round-robin regression [4]
+``gain``            :mod:`gain` - GAN imputer [46]
+``camf``            :mod:`camf` - clustered adversarial MF [42]
+``nmf``             :class:`repro.core.MaskedNMF` [41]
+``smf`` / ``smfl``  the paper's methods (:mod:`repro.core`)
+==================  ====================================================
+"""
+
+from .base import Imputer, column_mean_fill
+from .meanimpute import MeanImputer
+from .knn import KNNImputer
+from .knne import KNNEnsembleImputer
+from .loess import LoessImputer
+from .iim import IIMImputer
+from .mc import MatrixCompletionImputer
+from .dlm import DLMImputer
+from .softimpute import SoftImputeImputer
+from .iterative import IterativeImputer
+from .gain import GAINImputer
+from .camf import CAMFImputer
+from .pca import PCAModel
+from .registry import IMPUTER_NAMES, make_imputer
+
+__all__ = [
+    "Imputer",
+    "column_mean_fill",
+    "MeanImputer",
+    "KNNImputer",
+    "KNNEnsembleImputer",
+    "LoessImputer",
+    "IIMImputer",
+    "MatrixCompletionImputer",
+    "DLMImputer",
+    "SoftImputeImputer",
+    "IterativeImputer",
+    "GAINImputer",
+    "CAMFImputer",
+    "PCAModel",
+    "IMPUTER_NAMES",
+    "make_imputer",
+]

@@ -1,0 +1,87 @@
+"""The imputer protocol shared by baselines and the paper's methods.
+
+An imputer consumes ``(x, mask)`` - the zero-filled data matrix and the
+:class:`~repro.masking.ObservationMask` marking observed cells - and
+returns a complete matrix that agrees with ``x`` on observed cells.
+:class:`Imputer` centralises the input validation and the
+observed-cells-pass-through guarantee so concrete methods only
+implement ``_impute_missing``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..masking.mask import ObservationMask, mask_from_missing_values
+from ..validation import as_matrix
+
+__all__ = ["Imputer", "column_mean_fill"]
+
+
+def column_mean_fill(x: np.ndarray, observed: np.ndarray) -> np.ndarray:
+    """Fill unobserved cells with their column's observed mean.
+
+    Columns without any observed entry fall back to the global observed
+    mean (and to 0 if nothing is observed at all).  Used both as the
+    ``mean`` baseline and as the starting point of several iterative
+    methods.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    filled = x.copy()
+    total_sum = float(x[observed].sum()) if observed.any() else 0.0
+    total_cnt = int(observed.sum())
+    global_mean = total_sum / total_cnt if total_cnt else 0.0
+    for j in range(x.shape[1]):
+        col_obs = observed[:, j]
+        fill = float(x[col_obs, j].mean()) if col_obs.any() else global_mean
+        filled[~col_obs, j] = fill
+    return filled
+
+
+class Imputer:
+    """Abstract imputer: subclass and implement ``_impute_missing``.
+
+    The public entry point :meth:`fit_impute` validates inputs,
+    delegates, and re-asserts the Formula 8 contract: observed cells are
+    returned verbatim, only Psi cells come from the model.
+    """
+
+    #: Short lower-case identifier used by the experiment harness.
+    name: str = "imputer"
+
+    def fit_impute(self, x: np.ndarray, mask: object = None) -> np.ndarray:
+        """Impute ``x``; NaN cells are unobserved when ``mask`` is omitted."""
+        x, observation = self._coerce(x, mask)
+        if observation.n_unobserved == 0:
+            return x
+        estimate = self._impute_missing(observation.project(x), observation)
+        estimate = as_matrix(estimate, name=f"{self.name} output")
+        if estimate.shape != x.shape:
+            raise ValidationError(
+                f"{self.name} returned shape {estimate.shape}, expected {x.shape}"
+            )
+        return observation.merge(x, estimate)
+
+    def _impute_missing(
+        self, x_observed: np.ndarray, mask: ObservationMask
+    ) -> np.ndarray:
+        """Produce a full estimate matrix; only its Psi cells are used."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _coerce(x: np.ndarray, mask: object) -> tuple[np.ndarray, ObservationMask]:
+        if mask is None:
+            return mask_from_missing_values(x)
+        x = as_matrix(x, name="x", allow_nan=True, copy=True)
+        observation = mask if isinstance(mask, ObservationMask) else ObservationMask(
+            np.asarray(mask)
+        )
+        if observation.shape != x.shape:
+            raise ValidationError(
+                f"mask shape {observation.shape} does not match X shape {x.shape}"
+            )
+        x[~observation.observed] = 0.0
+        if np.isnan(x).any():
+            raise ValidationError("X has NaN entries at observed cells")
+        return x, observation

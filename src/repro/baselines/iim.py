@@ -1,0 +1,97 @@
+"""IIM: Individual regression Models per tuple [47].
+
+IIM learns, for every incomplete tuple, an individual regression model
+over that tuple's own neighbourhood ("learning individual models for
+imputation").  The distinguishing trait versus LOESS is the
+per-neighbour model ensemble: each of the ``ell`` nearest complete
+neighbours contributes a local model, and the candidate predictions are
+combined by distance-weighted aggregation.  This per-tuple, per-
+neighbour construction is exactly why the paper reports IIM running out
+of time on the 100k-row Vehicle dataset - the cost is faithfully
+quadratic-plus in the number of incomplete tuples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..masking.mask import ObservationMask
+from ..validation import check_positive_int
+from .base import Imputer, column_mean_fill
+from .linear import fit_weighted_ridge
+from .neighbors_util import (
+    complete_row_donors,
+    incomplete_row_distances,
+    neighbors_with_value,
+)
+
+__all__ = ["IIMImputer"]
+
+
+class IIMImputer(Imputer):
+    """Per-tuple individual regression ensemble.
+
+    Parameters
+    ----------
+    ell:
+        Number of neighbour-anchored local models per tuple.
+    model_size:
+        Number of samples each local model is trained on.
+    alpha:
+        Ridge stabiliser of the local fits.
+    """
+
+    name = "iim"
+
+    def __init__(
+        self, ell: int = 5, *, model_size: int = 6, alpha: float = 1e-9
+    ) -> None:
+        self.ell = check_positive_int(ell, name="ell")
+        self.model_size = check_positive_int(model_size, name="model_size")
+        if alpha < 0:
+            raise ValidationError("alpha must be non-negative")
+        self.alpha = float(alpha)
+
+    def _impute_missing(
+        self, x_observed: np.ndarray, mask: ObservationMask
+    ) -> np.ndarray:
+        observed = mask.observed
+        distances = incomplete_row_distances(x_observed, observed)
+        estimate = column_mean_fill(x_observed, observed)
+        donors = complete_row_donors(observed)
+        rows, cols = mask.unobserved_indices()
+        for i, j in zip(rows, cols):
+            predictors = np.nonzero(observed[i])[0]
+            predictors = predictors[predictors != j]
+            anchors = neighbors_with_value(
+                distances[i], observed[:, j], self.ell, donors=donors
+            )
+            if anchors.size == 0:
+                continue
+            if predictors.size == 0:
+                estimate[i, j] = float(x_observed[anchors, j].mean())
+                continue
+            predictions = []
+            weights = []
+            for anchor in anchors:
+                # Each anchor trains its own model on *its* neighbourhood.
+                train = neighbors_with_value(
+                    distances[anchor], observed[:, j], self.model_size, donors=donors
+                )
+                train = train[observed[np.ix_(train, predictors)].all(axis=1)]
+                if train.size < max(3, predictors.size + 1):
+                    predictions.append(float(x_observed[anchor, j]))
+                else:
+                    coef, intercept = fit_weighted_ridge(
+                        x_observed[np.ix_(train, predictors)],
+                        x_observed[train, j],
+                        alpha=self.alpha,
+                    )
+                    predictions.append(
+                        float(x_observed[i, predictors] @ coef + intercept)
+                    )
+                weights.append(1.0 / (distances[i, anchor] + 1e-9))
+            weight_arr = np.asarray(weights)
+            estimate[i, j] = float(weight_arr @ predictions / weight_arr.sum())
+        return estimate

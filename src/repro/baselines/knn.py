@@ -1,0 +1,58 @@
+"""kNN imputation [6]: fill a missing cell with the average of the cell
+values of the k nearest tuples (nearest on the commonly observed
+dimensions) that have the cell observed."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..masking.mask import ObservationMask
+from ..validation import check_positive_int
+from .base import Imputer, column_mean_fill
+from .neighbors_util import (
+    complete_row_donors,
+    incomplete_row_distances,
+    neighbors_with_value,
+)
+
+__all__ = ["KNNImputer"]
+
+
+class KNNImputer(Imputer):
+    """Plain k-nearest-neighbour imputer.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours averaged per missing cell.
+    weighted:
+        Inverse-distance weighting instead of a flat average.
+    """
+
+    name = "knn"
+
+    def __init__(self, k: int = 5, *, weighted: bool = True) -> None:
+        self.k = check_positive_int(k, name="k")
+        self.weighted = bool(weighted)
+
+    def _impute_missing(
+        self, x_observed: np.ndarray, mask: ObservationMask
+    ) -> np.ndarray:
+        observed = mask.observed
+        distances = incomplete_row_distances(x_observed, observed)
+        estimate = column_mean_fill(x_observed, observed)
+        donors = complete_row_donors(observed)
+        rows, cols = mask.unobserved_indices()
+        for i, j in zip(rows, cols):
+            idx = neighbors_with_value(
+                distances[i], observed[:, j], self.k, donors=donors
+            )
+            if idx.size == 0:
+                continue  # column-mean fallback already in place
+            values = x_observed[idx, j]
+            if self.weighted:
+                weights = 1.0 / (distances[i, idx] + 1e-9)
+                estimate[i, j] = float(weights @ values / weights.sum())
+            else:
+                estimate[i, j] = float(values.mean())
+        return estimate

@@ -1,0 +1,96 @@
+"""Ridge-regression substrate for the regression-family baselines.
+
+LOESS [13], IIM [47] and the MICE-style IterativeImputer [4] all reduce
+to (weighted) linear least squares with L2 stabilisation.  This module
+provides the closed-form solver they share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["RidgeRegression", "fit_weighted_ridge"]
+
+
+def fit_weighted_ridge(
+    features: np.ndarray,
+    targets: np.ndarray,
+    *,
+    alpha: float = 1e-3,
+    sample_weight: np.ndarray | None = None,
+) -> tuple[np.ndarray, float]:
+    """Closed-form (weighted) ridge: returns ``(coefficients, intercept)``.
+
+    Solves ``min_w sum_i s_i (y_i - w.x_i - b)^2 + alpha |w|^2``
+    by centring with the weighted means and solving the normal
+    equations on the centred system (the intercept is therefore not
+    penalised, matching standard practice).
+    """
+    features = np.asarray(features, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValidationError("features must be 2-dimensional")
+    if targets.shape != (features.shape[0],):
+        raise ValidationError(
+            f"targets shape {targets.shape} does not match feature rows {features.shape[0]}"
+        )
+    if features.shape[0] == 0:
+        raise ValidationError("cannot fit a regression on zero samples")
+    if sample_weight is None:
+        weights = np.ones(features.shape[0])
+    else:
+        weights = np.asarray(sample_weight, dtype=np.float64)
+        if weights.shape != (features.shape[0],):
+            raise ValidationError("sample_weight must have one entry per sample")
+        if (weights < 0).any():
+            raise ValidationError("sample_weight must be non-negative")
+    total = float(weights.sum())
+    if total <= 0.0:
+        raise ValidationError("sample weights sum to zero")
+    w_norm = weights / total
+    x_mean = w_norm @ features
+    y_mean = float(w_norm @ targets)
+    xc = features - x_mean
+    yc = targets - y_mean
+    xw = xc * weights[:, None]
+    gram = xc.T @ xw + alpha * np.eye(features.shape[1])
+    rhs = xw.T @ yc
+    try:
+        coef = np.linalg.solve(gram, rhs)
+    except np.linalg.LinAlgError:
+        coef = np.linalg.lstsq(gram, rhs, rcond=None)[0]
+    intercept = y_mean - float(coef @ x_mean)
+    return coef, intercept
+
+
+class RidgeRegression:
+    """Minimal fitted-model wrapper over :func:`fit_weighted_ridge`."""
+
+    def __init__(self, alpha: float = 1e-3) -> None:
+        if alpha < 0:
+            raise ValidationError("alpha must be non-negative")
+        self.alpha = float(alpha)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        *,
+        sample_weight: np.ndarray | None = None,
+    ) -> "RidgeRegression":
+        """Fit the (weighted) ridge model."""
+        self.coef_, self.intercept_ = fit_weighted_ridge(
+            features, targets, alpha=self.alpha, sample_weight=sample_weight
+        )
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for new feature rows."""
+        if self.coef_ is None:
+            raise ValidationError("RidgeRegression.predict called before fit")
+        features = np.asarray(features, dtype=np.float64)
+        return features @ self.coef_ + self.intercept_

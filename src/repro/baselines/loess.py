@@ -1,0 +1,89 @@
+"""LOESS-style local regression imputation [13].
+
+For each missing cell, fit a tricube-weighted linear regression over
+the nearest neighbours that observe both the target column and the
+predictor columns, then evaluate it at the incomplete tuple.  Falls
+back to the neighbours' (weighted) mean when the local system is too
+small to regress.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..masking.mask import ObservationMask
+from ..validation import check_positive_int
+from .base import Imputer, column_mean_fill
+from .linear import fit_weighted_ridge
+from .neighbors_util import (
+    complete_row_donors,
+    incomplete_row_distances,
+    neighbors_with_value,
+)
+
+__all__ = ["LoessImputer"]
+
+
+def _tricube(u: np.ndarray) -> np.ndarray:
+    """Tricube kernel on [0, 1]: ``(1 - u^3)^3``, clipped outside."""
+    u = np.clip(u, 0.0, 1.0)
+    return (1.0 - u**3) ** 3
+
+
+class LoessImputer(Imputer):
+    """Local weighted linear regression per missing cell.
+
+    Parameters
+    ----------
+    k:
+        Size of the local neighbourhood.
+    alpha:
+        Ridge stabiliser of the local fit.
+    """
+
+    name = "loess"
+
+    def __init__(self, k: int = 10, *, alpha: float = 1e-9) -> None:
+        self.k = check_positive_int(k, name="k")
+        if alpha < 0:
+            raise ValidationError("alpha must be non-negative")
+        self.alpha = float(alpha)
+
+    def _impute_missing(
+        self, x_observed: np.ndarray, mask: ObservationMask
+    ) -> np.ndarray:
+        observed = mask.observed
+        distances = incomplete_row_distances(x_observed, observed)
+        estimate = column_mean_fill(x_observed, observed)
+        donors = complete_row_donors(observed)
+        rows, cols = mask.unobserved_indices()
+        for i, j in zip(rows, cols):
+            # Predictors: columns observed in row i (excluding target j).
+            predictors = np.nonzero(observed[i])[0]
+            predictors = predictors[predictors != j]
+            idx = neighbors_with_value(
+                distances[i], observed[:, j], self.k, donors=donors
+            )
+            if idx.size == 0:
+                continue
+            if predictors.size == 0:
+                estimate[i, j] = float(x_observed[idx, j].mean())
+                continue
+            # Keep neighbours that observe every predictor column.
+            full = idx[observed[np.ix_(idx, predictors)].all(axis=1)]
+            if full.size < max(3, predictors.size + 1):
+                estimate[i, j] = float(x_observed[idx, j].mean())
+                continue
+            span = distances[i, full].max() or 1.0
+            weights = _tricube(distances[i, full] / (span * 1.0001))
+            if weights.sum() <= 0:
+                weights = np.ones(full.size)
+            coef, intercept = fit_weighted_ridge(
+                x_observed[np.ix_(full, predictors)],
+                x_observed[full, j],
+                alpha=self.alpha,
+                sample_weight=weights,
+            )
+            estimate[i, j] = float(x_observed[i, predictors] @ coef + intercept)
+        return estimate

@@ -1,0 +1,202 @@
+"""Minimal neural substrate for the GAN-based baselines.
+
+GAIN [46] and CAMF [42] are published as TensorFlow models; offline we
+implement the same architectures on a small numpy toolkit: dense MLPs
+with manual backpropagation and an Adam optimiser.  Only what the two
+baselines need is provided - fully connected layers, sigmoid/relu/tanh
+activations, binary-cross-entropy and squared losses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..validation import check_positive_int, resolve_rng
+
+__all__ = ["MLP", "Adam", "sigmoid", "binary_cross_entropy"]
+
+_ACTIVATIONS = ("relu", "sigmoid", "tanh", "linear")
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def binary_cross_entropy(
+    prob: np.ndarray, target: np.ndarray, *, eps: float = 1e-7
+) -> float:
+    """Mean BCE between predicted probabilities and 0/1 targets."""
+    prob = np.clip(prob, eps, 1.0 - eps)
+    return float(-np.mean(target * np.log(prob) + (1 - target) * np.log(1 - prob)))
+
+
+class MLP:
+    """Dense multi-layer perceptron with manual backprop.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[in, hidden..., out]`` unit counts.
+    hidden_activation / output_activation:
+        One of ``relu``, ``sigmoid``, ``tanh``, ``linear``.
+    random_state:
+        Seed or Generator for Xavier initialisation.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        *,
+        hidden_activation: str = "relu",
+        output_activation: str = "sigmoid",
+        random_state: object = None,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValidationError("MLP needs at least input and output sizes")
+        for size in layer_sizes:
+            check_positive_int(size, name="layer size")
+        for act in (hidden_activation, output_activation):
+            if act not in _ACTIVATIONS:
+                raise ValidationError(
+                    f"unknown activation {act!r}; available: {_ACTIVATIONS}"
+                )
+        rng = resolve_rng(random_state)
+        self.hidden_activation = hidden_activation
+        self.output_activation = output_activation
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes, layer_sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._cache: list[tuple[np.ndarray, np.ndarray]] = []
+
+    # ------------------------------------------------------------------ fwd
+
+    def _activate(self, z: np.ndarray, kind: str) -> np.ndarray:
+        if kind == "relu":
+            return np.maximum(z, 0.0)
+        if kind == "sigmoid":
+            return sigmoid(z)
+        if kind == "tanh":
+            return np.tanh(z)
+        return z
+
+    def _activate_grad(self, z: np.ndarray, a: np.ndarray, kind: str) -> np.ndarray:
+        if kind == "relu":
+            return (z > 0).astype(z.dtype)
+        if kind == "sigmoid":
+            return a * (1.0 - a)
+        if kind == "tanh":
+            return 1.0 - a**2
+        return np.ones_like(z)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass, caching pre/post activations for backprop."""
+        self._cache = []
+        a = np.asarray(x, dtype=np.float64)
+        last = len(self.weights) - 1
+        for idx, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = a @ w + b
+            kind = self.output_activation if idx == last else self.hidden_activation
+            a_next = self._activate(z, kind)
+            self._cache.append((a, z))
+            a = a_next
+        self._last_output = a
+        return a
+
+    def backward(
+        self, grad_output: np.ndarray
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Backprop ``dL/d(output)``.
+
+        Returns
+        -------
+        param_grads, input_grad:
+            ``param_grads`` is flat ``[dW0, db0, dW1, db1, ...]``
+            (matching :attr:`parameters`); ``input_grad`` is
+            ``dL/d(input)``, needed when chaining networks (the GAIN
+            generator receives gradients through the discriminator).
+        """
+        if not self._cache:
+            raise ValidationError("backward called before forward")
+        grads: list[np.ndarray] = []
+        delta = np.asarray(grad_output, dtype=np.float64)
+        last = len(self.weights) - 1
+        a_out = self._last_output
+        for idx in range(last, -1, -1):
+            a_in, z = self._cache[idx]
+            kind = self.output_activation if idx == last else self.hidden_activation
+            a_here = a_out if idx == last else self._activate(z, kind)
+            delta = delta * self._activate_grad(z, a_here, kind)
+            grads.append(delta.sum(axis=0))            # db
+            grads.append(a_in.T @ delta)               # dW
+            delta = delta @ self.weights[idx].T
+        grads.reverse()  # now [dW0, db0, dW1, db1, ...]
+        return grads, delta
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        """Flat parameter list matching :meth:`backward`'s gradient order."""
+        params: list[np.ndarray] = []
+        for w, b in zip(self.weights, self.biases):
+            params.append(w)
+            params.append(b)
+        return params
+
+    def apply_updates(self, new_params: list[np.ndarray]) -> None:
+        """Install updated parameters (same order as :attr:`parameters`)."""
+        if len(new_params) != 2 * len(self.weights):
+            raise ValidationError("parameter list length mismatch")
+        for idx in range(len(self.weights)):
+            self.weights[idx] = new_params[2 * idx]
+            self.biases[idx] = new_params[2 * idx + 1]
+
+
+class Adam:
+    """Adam optimiser over a flat list of parameter arrays."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        *,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValidationError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+        self._t = 0
+
+    def step(
+        self, params: list[np.ndarray], grads: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Return updated parameters; internal moments advance by one step."""
+        if len(params) != len(grads):
+            raise ValidationError("params and grads must have equal length")
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        assert self._m is not None and self._v is not None
+        self._t += 1
+        out: list[np.ndarray] = []
+        for idx, (p, g) in enumerate(zip(params, grads)):
+            self._m[idx] = self.beta1 * self._m[idx] + (1 - self.beta1) * g
+            self._v[idx] = self.beta2 * self._v[idx] + (1 - self.beta2) * g**2
+            m_hat = self._m[idx] / (1 - self.beta1**self._t)
+            v_hat = self._v[idx] / (1 - self.beta2**self._t)
+            out.append(p - self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps))
+        return out

@@ -1,0 +1,73 @@
+"""PCA via SVD [44]: the MF-based clustering baseline of Figure 4b.
+
+PCA projects the (mean-centred, imputed) data onto its top principal
+components; the clustering application then runs K-means in the
+projected space.  Also usable as a dimensionality reduction utility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import NotFittedError
+from ..validation import as_matrix, check_positive_int
+
+__all__ = ["PCAModel"]
+
+
+class PCAModel:
+    """Principal component analysis by thin SVD.
+
+    Parameters
+    ----------
+    n_components:
+        Number of principal directions kept.
+
+    Attributes (after fit)
+    ----------------------
+    mean_:
+        Column means removed before the SVD.
+    components_:
+        ``(n_components, m)`` principal directions (rows).
+    explained_variance_:
+        Variance captured by each component.
+    """
+
+    def __init__(self, n_components: int) -> None:
+        self.n_components = check_positive_int(n_components, name="n_components")
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "PCAModel":
+        """Learn the principal directions of ``x``."""
+        x = as_matrix(x, name="x")
+        if self.n_components > min(x.shape):
+            raise NotFittedError(
+                f"n_components={self.n_components} exceeds min(x.shape)={min(x.shape)}"
+            )
+        self.mean_ = x.mean(axis=0)
+        centered = x - self.mean_
+        _, s, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = vt[: self.n_components]
+        n = x.shape[0]
+        self.explained_variance_ = (s[: self.n_components] ** 2) / max(n - 1, 1)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Project rows of ``x`` onto the principal directions."""
+        if self.components_ is None or self.mean_ is None:
+            raise NotFittedError("PCAModel.transform called before fit")
+        x = as_matrix(x, name="x")
+        return (x - self.mean_) @ self.components_.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit and project in one call."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        """Map projected points back to the original space."""
+        if self.components_ is None or self.mean_ is None:
+            raise NotFittedError("PCAModel.inverse_transform called before fit")
+        projected = as_matrix(projected, name="projected")
+        return projected @ self.components_ + self.mean_

@@ -1,0 +1,95 @@
+"""Imputer registry: build any method of Table IV by name.
+
+Both the baselines and the paper's methods (NMF, SMF, SMFL) are exposed
+through one factory so the experiment harness can sweep them uniformly.
+Spatial-aware constructors receive ``n_spatial``; others ignore it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.nmf import MaskedNMF
+from ..core.smf import SMF
+from ..core.smfl import SMFL
+from ..exceptions import ValidationError
+from .camf import CAMFImputer
+from .dlm import DLMImputer
+from .gain import GAINImputer
+from .iim import IIMImputer
+from .iterative import IterativeImputer
+from .knn import KNNImputer
+from .knne import KNNEnsembleImputer
+from .loess import LoessImputer
+from .mc import MatrixCompletionImputer
+from .meanimpute import MeanImputer
+from .softimpute import SoftImputeImputer
+
+__all__ = ["IMPUTER_NAMES", "make_imputer"]
+
+_DEFAULT_RANK = 5
+
+
+def _build_nmf(n_spatial: int, rank: int, random_state: object) -> MaskedNMF:
+    return MaskedNMF(rank=rank, random_state=random_state)
+
+
+def _build_smf(n_spatial: int, rank: int, random_state: object) -> SMF:
+    return SMF(rank=rank, n_spatial=n_spatial, random_state=random_state)
+
+
+def _build_smfl(n_spatial: int, rank: int, random_state: object) -> SMFL:
+    return SMFL(rank=rank, n_spatial=n_spatial, random_state=random_state)
+
+
+_FACTORIES: dict[str, Callable[[int, int, object], object]] = {
+    "mean": lambda n_spatial, rank, seed: MeanImputer(),
+    "knn": lambda n_spatial, rank, seed: KNNImputer(),
+    "knne": lambda n_spatial, rank, seed: KNNEnsembleImputer(),
+    "loess": lambda n_spatial, rank, seed: LoessImputer(),
+    "iim": lambda n_spatial, rank, seed: IIMImputer(),
+    "mc": lambda n_spatial, rank, seed: MatrixCompletionImputer(),
+    "dlm": lambda n_spatial, rank, seed: DLMImputer(),
+    "softimpute": lambda n_spatial, rank, seed: SoftImputeImputer(),
+    "iterative": lambda n_spatial, rank, seed: IterativeImputer(),
+    "gain": lambda n_spatial, rank, seed: GAINImputer(random_state=seed),
+    "camf": lambda n_spatial, rank, seed: CAMFImputer(
+        rank=rank, random_state=seed
+    ),
+    "nmf": _build_nmf,
+    "smf": _build_smf,
+    "smfl": _build_smfl,
+}
+
+IMPUTER_NAMES: tuple[str, ...] = tuple(sorted(_FACTORIES))
+"""All method names accepted by :func:`make_imputer`."""
+
+
+def make_imputer(
+    name: str,
+    *,
+    n_spatial: int = 2,
+    rank: int = _DEFAULT_RANK,
+    random_state: object = None,
+) -> object:
+    """Build an imputer by its Table IV name.
+
+    Every returned object exposes ``fit_impute(x, mask) -> x_hat``.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`IMPUTER_NAMES` (case-insensitive).
+    n_spatial:
+        Spatial-column count, consumed by the spatial-aware methods.
+    rank:
+        Factorization rank for the MF-family methods.
+    random_state:
+        Seed or Generator for the stochastic methods.
+    """
+    key = str(name).lower()
+    if key not in _FACTORIES:
+        raise ValidationError(
+            f"unknown imputer {name!r}; available: {', '.join(IMPUTER_NAMES)}"
+        )
+    return _FACTORIES[key](n_spatial, rank, random_state)

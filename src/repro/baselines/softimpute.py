@@ -1,0 +1,76 @@
+"""SoftImpute [35]: iterative soft-thresholded SVD.
+
+Mazumder-Hastie-Tibshirani spectral regularisation: repeat
+
+    Z <- shrink_lambda( R_Omega(X) + R_Psi(Z) )
+
+i.e. fill the missing cells with the current estimate, take an SVD,
+soft-threshold the singular values, and iterate to a fixed point.  A
+warm-started shrinkage path (decreasing lambda) improves the solution
+quality, matching the reference implementation's behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..masking.mask import ObservationMask
+from ..validation import check_positive_int
+from .base import Imputer
+from .mc import svd_shrink
+
+__all__ = ["SoftImputeImputer"]
+
+
+class SoftImputeImputer(Imputer):
+    """Soft-thresholded SVD iterations with a shrinkage path.
+
+    Parameters
+    ----------
+    shrinkage:
+        Final soft-threshold lambda; ``None`` picks
+        ``max_singular_value / 50``.
+    n_path:
+        Number of warm-start lambdas (log-spaced down to ``shrinkage``).
+    max_iter:
+        Inner fixed-point iterations per lambda.
+    tol:
+        Relative-change stopping tolerance of the inner loop.
+    """
+
+    name = "softimpute"
+
+    def __init__(
+        self,
+        *,
+        shrinkage: float | None = None,
+        n_path: int = 5,
+        max_iter: int = 100,
+        tol: float = 1e-5,
+    ) -> None:
+        if shrinkage is not None and shrinkage <= 0:
+            raise ValidationError("shrinkage must be positive")
+        self.shrinkage = shrinkage
+        self.n_path = check_positive_int(n_path, name="n_path")
+        self.max_iter = check_positive_int(max_iter, name="max_iter")
+        self.tol = float(tol)
+
+    def _impute_missing(
+        self, x_observed: np.ndarray, mask: ObservationMask
+    ) -> np.ndarray:
+        observed = mask.observed
+        top_singular = float(np.linalg.svd(x_observed, compute_uv=False)[0]) or 1.0
+        final_lam = self.shrinkage if self.shrinkage is not None else top_singular / 50.0
+        lams = np.geomspace(top_singular * 0.5, final_lam, num=self.n_path)
+        estimate = np.zeros_like(x_observed)
+        for lam in lams:
+            for _ in range(self.max_iter):
+                filled = np.where(observed, x_observed, estimate)
+                new_estimate, _ = svd_shrink(filled, lam)
+                change = np.linalg.norm(new_estimate - estimate)
+                scale = np.linalg.norm(estimate) or 1.0
+                estimate = new_estimate
+                if change / scale < self.tol:
+                    break
+        return estimate

@@ -1,0 +1,22 @@
+"""Clustering substrate: K-means, Hungarian assignment, cluster metrics.
+
+The paper uses K-means twice: to generate landmarks (Section III-A,
+cluster centers of the spatial columns become the frozen block of
+**V**) and as a component of the clustering application (Figure 4b).
+Clustering accuracy (Section IV-B4) needs the optimal label
+permutation, computed by the Kuhn-Munkres (Hungarian) algorithm.
+"""
+
+from .kmeans import KMeans, kmeans_centers
+from .hungarian import hungarian_assignment
+from .metrics import clustering_accuracy, confusion_matrix, normalized_mutual_info, purity
+
+__all__ = [
+    "KMeans",
+    "kmeans_centers",
+    "hungarian_assignment",
+    "clustering_accuracy",
+    "confusion_matrix",
+    "normalized_mutual_info",
+    "purity",
+]

@@ -1,0 +1,99 @@
+"""Kuhn-Munkres (Hungarian) assignment, implemented from scratch.
+
+Clustering accuracy (Section IV-B4) maximises agreement over all
+permutations sigma mapping predicted labels to ground-truth labels; the
+paper determines sigma with the Kuhn-Munkres algorithm.  This module
+implements the O(n^3) shortest-augmenting-path variant for square or
+rectangular cost matrices (minimisation form).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import as_matrix
+
+__all__ = ["hungarian_assignment"]
+
+
+def hungarian_assignment(cost: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Minimum-cost assignment of rows to columns.
+
+    Parameters
+    ----------
+    cost:
+        ``(n, m)`` finite cost matrix.  If ``n > m`` the problem is
+        solved on the transpose and mapped back, so every column gets a
+        row when columns are scarce and vice versa.
+
+    Returns
+    -------
+    row_indices, col_indices:
+        Arrays of equal length ``min(n, m)`` such that pairing
+        ``(row_indices[i], col_indices[i])`` minimises the total cost.
+        Rows are returned in increasing order.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rows, cols = hungarian_assignment(np.array([[4.0, 1.0], [2.0, 8.0]]))
+    >>> list(zip(rows.tolist(), cols.tolist()))
+    [(0, 1), (1, 0)]
+    """
+    cost = as_matrix(cost, name="cost")
+    transposed = cost.shape[0] > cost.shape[1]
+    if transposed:
+        cost = cost.T
+    n_rows, n_cols = cost.shape
+
+    # Potentials and matching state for the shortest augmenting path
+    # formulation (a.k.a. the "Jonker-Volgenant style" Hungarian).
+    # Arrays are 1-indexed internally: index 0 is a virtual root.
+    u = np.zeros(n_rows + 1)
+    v = np.zeros(n_cols + 1)
+    match = np.zeros(n_cols + 1, dtype=np.int64)  # match[j] = row assigned to col j
+
+    for i in range(1, n_rows + 1):
+        match[0] = i
+        j0 = 0
+        min_to = np.full(n_cols + 1, np.inf)
+        prev = np.zeros(n_cols + 1, dtype=np.int64)
+        used = np.zeros(n_cols + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = match[j0]
+            delta = np.inf
+            j1 = 0
+            for j in range(1, n_cols + 1):
+                if used[j]:
+                    continue
+                cur = cost[i0 - 1, j - 1] - u[i0] - v[j]
+                if cur < min_to[j]:
+                    min_to[j] = cur
+                    prev[j] = j0
+                if min_to[j] < delta:
+                    delta = min_to[j]
+                    j1 = j
+            for j in range(n_cols + 1):
+                if used[j]:
+                    u[match[j]] += delta
+                    v[j] -= delta
+                else:
+                    min_to[j] -= delta
+            j0 = j1
+            if match[j0] == 0:
+                break
+        # Augment along the found path.
+        while j0 != 0:
+            j1 = prev[j0]
+            match[j0] = match[j1]
+            j0 = j1
+
+    pairs = [(int(match[j]) - 1, j - 1) for j in range(1, n_cols + 1) if match[j] != 0]
+    pairs.sort()
+    row_idx = np.array([r for r, _ in pairs], dtype=np.int64)
+    col_idx = np.array([c for _, c in pairs], dtype=np.int64)
+    if transposed:
+        order = np.argsort(col_idx, kind="stable")
+        return col_idx[order], row_idx[order]
+    return row_idx, col_idx

@@ -1,0 +1,171 @@
+"""K-means clustering, implemented from scratch on numpy.
+
+Used by SMFL to generate landmarks: the ``K`` cluster centers of the
+spatial-information columns become the frozen first ``L`` columns of
+the feature matrix **V** (Section III-A).  Defaults follow the paper:
+``t2 = 300`` maximum iterations with early stopping on converged
+assignments (Proposition 1 discussion).
+
+Seeding uses k-means++ for robustness; Lloyd iterations follow, with
+empty clusters re-seeded to the point farthest from its center.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import DegenerateDataError, NotFittedError
+from ..validation import as_matrix, check_in_range, check_positive_int, resolve_rng
+from ..spatial.distances import pairwise_sq_euclidean
+
+__all__ = ["KMeans", "kmeans_centers"]
+
+DEFAULT_MAX_ITER = 300
+"""The paper's K-means iteration budget ``t2`` (Section III-B)."""
+
+
+@dataclass
+class KMeans:
+    """Lloyd's K-means with k-means++ seeding.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``K'``; SMFL sets it equal to the
+        factorization rank ``K``.
+    max_iter:
+        Iteration budget ``t2`` (paper default 300).
+    tol:
+        Relative center-movement tolerance for early stopping.
+    n_init:
+        Number of k-means++ restarts; the best inertia wins.
+    random_state:
+        Seed or Generator for reproducibility.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    centers_:
+        ``(n_clusters, d)`` cluster centers.
+    labels_:
+        ``(n,)`` cluster index per input point.
+    inertia_:
+        Sum of squared distances to assigned centers.
+    n_iter_:
+        Lloyd iterations run by the winning restart.
+    """
+
+    n_clusters: int
+    max_iter: int = DEFAULT_MAX_ITER
+    tol: float = 1e-7
+    n_init: int = 4
+    random_state: object = None
+
+    centers_: np.ndarray | None = field(default=None, init=False, repr=False)
+    labels_: np.ndarray | None = field(default=None, init=False, repr=False)
+    inertia_: float = field(default=np.inf, init=False, repr=False)
+    n_iter_: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.n_clusters = check_positive_int(self.n_clusters, name="n_clusters")
+        self.max_iter = check_positive_int(self.max_iter, name="max_iter")
+        self.n_init = check_positive_int(self.n_init, name="n_init")
+        self.tol = check_in_range(self.tol, name="tol", low=0.0)
+
+    def fit(self, points: np.ndarray) -> "KMeans":
+        """Cluster ``points`` and store centers, labels and inertia."""
+        points = as_matrix(points, name="points")
+        n = points.shape[0]
+        if self.n_clusters > n:
+            raise DegenerateDataError(
+                f"n_clusters={self.n_clusters} exceeds the number of points ({n})"
+            )
+        rng = resolve_rng(self.random_state)
+        best: tuple[float, np.ndarray, np.ndarray, int] | None = None
+        for _ in range(self.n_init):
+            inertia, centers, labels, n_iter = self._run_once(points, rng)
+            if best is None or inertia < best[0]:
+                best = (inertia, centers, labels, n_iter)
+        assert best is not None
+        self.inertia_, self.centers_, self.labels_, self.n_iter_ = best
+        return self
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        """Cluster ``points`` and return the label vector."""
+        self.fit(points)
+        assert self.labels_ is not None
+        return self.labels_
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Assign each row of ``points`` to the nearest fitted center."""
+        if self.centers_ is None:
+            raise NotFittedError("KMeans.predict called before fit")
+        points = as_matrix(points, name="points")
+        d2 = pairwise_sq_euclidean(points, self.centers_)
+        return np.argmin(d2, axis=1)
+
+    def _run_once(
+        self, points: np.ndarray, rng: np.random.Generator
+    ) -> tuple[float, np.ndarray, np.ndarray, int]:
+        centers = _kmeanspp_seed(points, self.n_clusters, rng)
+        labels = np.zeros(points.shape[0], dtype=np.int64)
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            d2 = pairwise_sq_euclidean(points, centers)
+            labels = np.argmin(d2, axis=1)
+            new_centers = np.empty_like(centers)
+            for k in range(self.n_clusters):
+                members = points[labels == k]
+                if members.shape[0] == 0:
+                    # Re-seed an empty cluster at the point farthest from
+                    # its current assignment, a standard repair step.
+                    farthest = int(np.argmax(d2[np.arange(points.shape[0]), labels]))
+                    new_centers[k] = points[farthest]
+                else:
+                    new_centers[k] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centers - centers))
+            scale = float(np.linalg.norm(centers)) or 1.0
+            centers = new_centers
+            if shift / scale <= self.tol:
+                break
+        d2 = pairwise_sq_euclidean(points, centers)
+        labels = np.argmin(d2, axis=1)
+        inertia = float(d2[np.arange(points.shape[0]), labels].sum())
+        return inertia, centers, labels, n_iter
+
+
+def _kmeanspp_seed(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread the initial centers proportionally to
+    squared distance from the already chosen ones."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = points[first]
+    closest_d2 = pairwise_sq_euclidean(points, centers[:1])[:, 0]
+    for j in range(1, k):
+        total = float(closest_d2.sum())
+        if total <= 0.0:
+            # All remaining points coincide with chosen centers.
+            centers[j:] = points[rng.integers(n, size=k - j)]
+            break
+        probs = closest_d2 / total
+        choice = int(rng.choice(n, p=probs))
+        centers[j] = points[choice]
+        d2_new = pairwise_sq_euclidean(points, centers[j : j + 1])[:, 0]
+        np.minimum(closest_d2, d2_new, out=closest_d2)
+    return centers
+
+
+def kmeans_centers(
+    points: np.ndarray,
+    n_clusters: int,
+    *,
+    max_iter: int = DEFAULT_MAX_ITER,
+    random_state: object = None,
+) -> np.ndarray:
+    """Shorthand used by the landmark builder: fit and return centers."""
+    model = KMeans(n_clusters=n_clusters, max_iter=max_iter, random_state=random_state)
+    model.fit(points)
+    assert model.centers_ is not None
+    return model.centers_

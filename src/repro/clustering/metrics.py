@@ -1,0 +1,84 @@
+"""Clustering evaluation metrics.
+
+Implements the accuracy measure of Section IV-B4:
+
+    Accuracy = max_sigma sum_i delta(truth[i], sigma(pred[i])) / n
+
+where sigma is the best permutation from predicted to true labels,
+found by the Kuhn-Munkres algorithm, plus purity and normalised mutual
+information as supporting diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import ValidationError
+from .hungarian import hungarian_assignment
+
+__all__ = ["confusion_matrix", "clustering_accuracy", "purity", "normalized_mutual_info"]
+
+
+def _as_labels(labels: object, name: str) -> np.ndarray:
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    return arr
+
+
+def confusion_matrix(truth: np.ndarray, pred: np.ndarray) -> np.ndarray:
+    """Contingency table: rows index true classes, columns predicted ones."""
+    truth = _as_labels(truth, "truth")
+    pred = _as_labels(pred, "pred")
+    if truth.shape != pred.shape:
+        raise ValidationError(
+            f"truth and pred must have equal length, got {truth.size} vs {pred.size}"
+        )
+    _, truth_codes = np.unique(truth, return_inverse=True)
+    _, pred_codes = np.unique(pred, return_inverse=True)
+    n_true = int(truth_codes.max()) + 1
+    n_pred = int(pred_codes.max()) + 1
+    table = np.zeros((n_true, n_pred), dtype=np.int64)
+    np.add.at(table, (truth_codes, pred_codes), 1)
+    return table
+
+
+def clustering_accuracy(truth: np.ndarray, pred: np.ndarray) -> float:
+    """Best-permutation clustering accuracy (Section IV-B4).
+
+    The optimal mapping sigma from predicted clusters to true classes
+    is the maximum-weight assignment on the contingency table, solved
+    by the Hungarian algorithm on negated counts.
+    """
+    table = confusion_matrix(truth, pred)
+    rows, cols = hungarian_assignment(-table.astype(np.float64))
+    matched = int(table[rows, cols].sum())
+    return matched / float(np.asarray(truth).size)
+
+
+def purity(truth: np.ndarray, pred: np.ndarray) -> float:
+    """Cluster purity: each predicted cluster votes for its majority class."""
+    table = confusion_matrix(truth, pred)
+    return float(table.max(axis=0).sum()) / float(table.sum())
+
+
+def normalized_mutual_info(truth: np.ndarray, pred: np.ndarray) -> float:
+    """NMI with arithmetic-mean normalisation; 0 for independent labelings,
+    1 for identical partitions (up to relabeling)."""
+    table = confusion_matrix(truth, pred).astype(np.float64)
+    n = table.sum()
+    p_joint = table / n
+    p_true = p_joint.sum(axis=1)
+    p_pred = p_joint.sum(axis=0)
+    nz = p_joint > 0
+    outer = np.outer(p_true, p_pred)
+    mutual_info = float((p_joint[nz] * np.log(p_joint[nz] / outer[nz])).sum())
+    h_true = -float((p_true[p_true > 0] * np.log(p_true[p_true > 0])).sum())
+    h_pred = -float((p_pred[p_pred > 0] * np.log(p_pred[p_pred > 0])).sum())
+    denom = 0.5 * (h_true + h_pred)
+    if denom == 0.0:
+        # Both partitions are single-cluster: identical by convention.
+        return 1.0
+    return max(0.0, mutual_info / denom)

@@ -1,0 +1,34 @@
+"""Core: masked NMF, SMF, and SMFL (the paper's contribution).
+
+- :mod:`repro.core.objective` - the masked reconstruction error and the
+  spatial regularizer ``Tr(U^T L U)`` (Problem 1 / Problem 2 objective).
+- :mod:`repro.core.updates` - the multiplicative update kernels of
+  Formulas 13-14 and the gradient-descent alternative of Section III-B1.
+- :mod:`repro.core.landmarks` - landmark generation (K-means centers of
+  ``SI``) and the frozen-block bookkeeping of Definition 1.
+- :mod:`repro.core.initialization` - U/V initialisers.
+- :mod:`repro.core.convergence` - iteration control.
+- :mod:`repro.core.nmf` / :mod:`smf` / :mod:`smfl` - the three models.
+"""
+
+from .convergence import ConvergenceMonitor
+from .factorization import FactorizationResult, MatrixFactorizationBase
+from .landmarks import LandmarkSet, kmeans_landmarks
+from .nmf import MaskedNMF
+from .objective import masked_frobenius_sq, smoothness_penalty, total_objective
+from .smf import SMF
+from .smfl import SMFL
+
+__all__ = [
+    "ConvergenceMonitor",
+    "FactorizationResult",
+    "MatrixFactorizationBase",
+    "LandmarkSet",
+    "kmeans_landmarks",
+    "MaskedNMF",
+    "SMF",
+    "SMFL",
+    "masked_frobenius_sq",
+    "smoothness_penalty",
+    "total_objective",
+]

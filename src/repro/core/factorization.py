@@ -1,0 +1,283 @@
+"""Shared machinery for the masked factorization models.
+
+:class:`MatrixFactorizationBase` owns the fit loop common to NMF, SMF
+and SMFL: input validation, mask handling, factor initialisation,
+iteration control, and the fitted-state API (``reconstruct``,
+``impute``, ``fit_impute``).  Subclasses override three hooks:
+
+- ``_prepare_fit``   - build per-model structures (graphs, landmarks);
+- ``_initial_factors`` - produce (and possibly modify) U0, V0;
+- ``_step``          - run one update iteration;
+- ``_objective``     - the objective the convergence monitor tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import NotFittedError, ValidationError
+from ..masking.mask import ObservationMask, mask_from_missing_values
+from ..validation import (
+    as_matrix,
+    check_in_range,
+    check_nonnegative,
+    check_positive_int,
+    check_rank,
+    resolve_rng,
+)
+from .convergence import DEFAULT_MAX_ITER, ConvergenceMonitor
+from .initialization import init_factors
+from .objective import masked_frobenius_sq
+
+__all__ = ["FactorizationResult", "MatrixFactorizationBase", "clip_columns_to_observed"]
+
+
+def _clip_columns_to_observed(
+    estimate: np.ndarray, x: np.ndarray, observed: np.ndarray
+) -> np.ndarray:
+    """Clip each column of ``estimate`` to the [min, max] of the observed
+    entries of the same column of ``x``; columns without observed
+    entries pass through unchanged."""
+    estimate = estimate.copy()
+    for j in range(x.shape[1]):
+        col_observed = observed[:, j]
+        if not col_observed.any():
+            continue
+        col_vals = x[col_observed, j]
+        np.clip(estimate[:, j], float(col_vals.min()), float(col_vals.max()),
+                out=estimate[:, j])
+    return estimate
+
+
+# Public alias: baselines reuse the same safeguard.
+clip_columns_to_observed = _clip_columns_to_observed
+
+UPDATE_RULES = ("multiplicative", "gradient")
+"""Update strategies of Section III-B."""
+
+
+@dataclass(frozen=True)
+class FactorizationResult:
+    """Summary of a completed fit, convenient for experiment logging."""
+
+    u: np.ndarray
+    v: np.ndarray
+    objective_history: tuple[float, ...]
+    n_iter: int
+    converged: bool
+
+    @property
+    def final_objective(self) -> float:
+        """Objective value at the last recorded iteration."""
+        return self.objective_history[-1] if self.objective_history else float("nan")
+
+
+class MatrixFactorizationBase:
+    """Base class of the masked NMF family.
+
+    Parameters
+    ----------
+    rank:
+        Factorization rank ``K``.
+    max_iter:
+        Update-iteration budget ``t1`` (paper default 500).
+    tol:
+        Relative objective-decrease tolerance for early stopping.
+    update_rule:
+        ``"multiplicative"`` (Formulas 13-14, paper default) or
+        ``"gradient"`` (Section III-B1).
+    learning_rate:
+        Step size for the gradient rule (ignored by multiplicative).
+    init:
+        Factor initialisation strategy (``"random"`` or ``"nndsvd"``).
+    eval_every:
+        Evaluate the objective every this many iterations (1 = every
+        iteration; larger values trade convergence-check granularity
+        for speed on large matrices).
+    clip_to_observed:
+        When imputing, clip each column's filled values to the range of
+        that column's *observed* entries (default ``True``).  Low-rank
+        models can extrapolate far outside the data range at high
+        missing rates; the observed range is legitimate side
+        information every practitioner applies after min-max
+        normalisation.
+    random_state:
+        Seed or Generator.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        *,
+        max_iter: int = DEFAULT_MAX_ITER,
+        tol: float = 1e-6,
+        update_rule: str = "multiplicative",
+        learning_rate: float = 1e-3,
+        init: str = "random",
+        eval_every: int = 1,
+        clip_to_observed: bool = True,
+        random_state: object = None,
+    ) -> None:
+        self.rank = check_positive_int(rank, name="rank")
+        self.max_iter = check_positive_int(max_iter, name="max_iter")
+        self.tol = check_in_range(tol, name="tol", low=0.0)
+        if update_rule not in UPDATE_RULES:
+            raise ValidationError(
+                f"unknown update_rule {update_rule!r}; available: {UPDATE_RULES}"
+            )
+        self.update_rule = update_rule
+        self.learning_rate = check_in_range(
+            learning_rate, name="learning_rate", low=0.0, low_inclusive=False
+        )
+        self.init = init
+        self.eval_every = check_positive_int(eval_every, name="eval_every")
+        self.clip_to_observed = bool(clip_to_observed)
+        self.random_state = random_state
+
+        self.u_: np.ndarray | None = None
+        self.v_: np.ndarray | None = None
+        self.n_iter_: int = 0
+        self.converged_: bool = False
+        self.objective_history_: list[float] = []
+        self._fit_x: np.ndarray | None = None
+        self._fit_mask: ObservationMask | None = None
+
+    # ----------------------------------------------------------------- hooks
+
+    def _prepare_fit(
+        self, x: np.ndarray, x_observed: np.ndarray, mask: ObservationMask
+    ) -> None:
+        """Build model-specific structures before iteration starts."""
+
+    def _initial_factors(
+        self,
+        x_observed: np.ndarray,
+        observed: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Produce the initial non-negative factors."""
+        return init_factors(
+            x_observed, observed, self.rank, strategy=self.init, random_state=rng
+        )
+
+    def _step(
+        self,
+        x_observed: np.ndarray,
+        observed: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One update iteration; must be overridden."""
+        raise NotImplementedError
+
+    def _objective(
+        self,
+        x: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        observed: np.ndarray,
+    ) -> float:
+        """Objective tracked by the convergence monitor."""
+        return masked_frobenius_sq(x, u, v, observed)
+
+    # ------------------------------------------------------------ public API
+
+    def fit(self, x: np.ndarray, mask: object = None) -> "MatrixFactorizationBase":
+        """Factorize ``x`` with unobserved cells excluded from the loss.
+
+        Parameters
+        ----------
+        x:
+            ``(n, m)`` non-negative data matrix.  NaN cells are treated
+            as unobserved when ``mask`` is omitted.
+        mask:
+            Optional :class:`ObservationMask` or boolean array
+            (``True`` = observed).  Overrides NaN detection.
+        """
+        x, observation = self._coerce_input(x, mask)
+        check_rank(self.rank, x.shape[0], x.shape[1], name="rank")
+        check_nonnegative(observation.project(x), name="observed entries of X")
+        x_observed = observation.project(x)
+        observed = observation.observed
+        rng = resolve_rng(self.random_state)
+
+        self._prepare_fit(x, x_observed, observation)
+        u, v = self._initial_factors(x_observed, observed, rng)
+
+        monitor = ConvergenceMonitor(max_iter=self.max_iter, tol=self.tol)
+        steps = 0
+        while steps < self.max_iter and not monitor.converged:
+            u, v = self._step(x_observed, observed, u, v)
+            steps += 1
+            if steps % self.eval_every == 0 or steps == self.max_iter:
+                monitor.record(self._objective(x_observed, u, v, observed))
+
+        self.u_, self.v_ = u, v
+        self.n_iter_ = steps
+        self.converged_ = monitor.converged
+        self.objective_history_ = list(monitor.history)
+        self._fit_x = x
+        self._fit_mask = observation
+        return self
+
+    def reconstruct(self) -> np.ndarray:
+        """``X* = U* V*``: the model's full reconstruction."""
+        if self.u_ is None or self.v_ is None:
+            raise NotFittedError(f"{type(self).__name__}.reconstruct called before fit")
+        return self.u_ @ self.v_
+
+    def impute(self) -> np.ndarray:
+        """Formula 8: observed values kept, unobserved filled from ``U V``.
+
+        With ``clip_to_observed`` (default) each column's filled values
+        are clipped to the range of its observed entries.
+        """
+        if self._fit_x is None or self._fit_mask is None:
+            raise NotFittedError(f"{type(self).__name__}.impute called before fit")
+        reconstruction = self.reconstruct()
+        if self.clip_to_observed:
+            reconstruction = _clip_columns_to_observed(
+                reconstruction, self._fit_x, self._fit_mask.observed
+            )
+        return self._fit_mask.merge(self._fit_x, reconstruction)
+
+    def fit_impute(self, x: np.ndarray, mask: object = None) -> np.ndarray:
+        """Fit on ``(x, mask)`` and return the imputed matrix."""
+        self.fit(x, mask)
+        return self.impute()
+
+    def result(self) -> FactorizationResult:
+        """Fitted-state summary for logging."""
+        if self.u_ is None or self.v_ is None:
+            raise NotFittedError(f"{type(self).__name__}.result called before fit")
+        return FactorizationResult(
+            u=self.u_.copy(),
+            v=self.v_.copy(),
+            objective_history=tuple(self.objective_history_),
+            n_iter=self.n_iter_,
+            converged=self.converged_,
+        )
+
+    # ------------------------------------------------------------- internals
+
+    @staticmethod
+    def _coerce_input(x: np.ndarray, mask: object) -> tuple[np.ndarray, ObservationMask]:
+        if mask is None:
+            return mask_from_missing_values(x)
+        x = as_matrix(x, name="x", allow_nan=True, copy=True)
+        if isinstance(mask, ObservationMask):
+            observation = mask
+        else:
+            observation = ObservationMask(np.asarray(mask))
+        if observation.shape != x.shape:
+            raise ValidationError(
+                f"mask shape {observation.shape} does not match X shape {x.shape}"
+            )
+        # Zero-fill unobserved cells so NaN placeholders cannot leak into
+        # the update kernels.
+        x[~observation.observed] = 0.0
+        if np.isnan(x).any():
+            raise ValidationError("X has NaN entries at observed cells")
+        return x, observation

@@ -1,0 +1,113 @@
+"""Initialisation strategies for the factor matrices U and V.
+
+The paper initialises U and V randomly before injecting landmarks
+(Section III-A).  Random scale matters for multiplicative updates: the
+entries are drawn so that ``U V`` starts near the observed mean of X,
+which keeps the first multiplicative factors well-conditioned.  An
+NNDSVD-style deterministic initialiser is provided as an alternative
+for reproducibility-sensitive callers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..validation import resolve_rng
+
+__all__ = ["init_factors", "INIT_STRATEGIES"]
+
+INIT_STRATEGIES = ("random", "nndsvd")
+"""Names accepted by :func:`init_factors`."""
+
+
+def init_factors(
+    x_observed: np.ndarray,
+    observed: np.ndarray,
+    rank: int,
+    *,
+    strategy: str = "random",
+    random_state: object = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Initial non-negative factors ``(U, V)`` for a masked factorization.
+
+    Parameters
+    ----------
+    x_observed:
+        ``R_Omega(X)``: data with unobserved cells zeroed.
+    observed:
+        Boolean mask of observed cells.
+    rank:
+        Factorization rank ``K``.
+    strategy:
+        ``"random"`` (paper default) or ``"nndsvd"``.
+    random_state:
+        Seed or Generator (used by ``"random"``; ``"nndsvd"`` is
+        deterministic).
+
+    Returns
+    -------
+    U of shape ``(n, rank)`` and V of shape ``(rank, m)``, both strictly
+    positive so multiplicative updates can move every entry.
+    """
+    if strategy not in INIT_STRATEGIES:
+        raise ValidationError(
+            f"unknown init strategy {strategy!r}; available: {INIT_STRATEGIES}"
+        )
+    if strategy == "random":
+        return _random_init(x_observed, observed, rank, resolve_rng(random_state))
+    return _nndsvd_init(x_observed, rank)
+
+
+def _random_init(
+    x_observed: np.ndarray,
+    observed: np.ndarray,
+    rank: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    n, m = x_observed.shape
+    n_obs = max(int(observed.sum()), 1)
+    mean = float(x_observed.sum()) / n_obs
+    # E[u v] = scale^2 * E[uniform]^2 * rank ~= mean  =>  pick scale so the
+    # initial product matches the data scale.
+    scale = np.sqrt(max(mean, 1e-3) / rank) * 2.0
+    u = rng.random((n, rank)) * scale + 1e-4
+    v = rng.random((rank, m)) * scale + 1e-4
+    return u, v
+
+
+def _nndsvd_init(x_observed: np.ndarray, rank: int) -> tuple[np.ndarray, np.ndarray]:
+    """Boutsidis-Gallopoulos NNDSVD on the zero-filled matrix.
+
+    Zero entries are nudged to a small positive floor so multiplicative
+    updates stay live everywhere.
+    """
+    u_svd, s, vt_svd = np.linalg.svd(x_observed, full_matrices=False)
+    n, m = x_observed.shape
+    u = np.zeros((n, rank))
+    v = np.zeros((rank, m))
+    # Leading component: non-negative by Perron-Frobenius up to sign flips.
+    u[:, 0] = np.sqrt(s[0]) * np.abs(u_svd[:, 0])
+    v[0, :] = np.sqrt(s[0]) * np.abs(vt_svd[0, :])
+    for k in range(1, min(rank, s.size)):
+        x_col = u_svd[:, k]
+        y_col = vt_svd[k, :]
+        x_pos, x_neg = np.maximum(x_col, 0.0), np.maximum(-x_col, 0.0)
+        y_pos, y_neg = np.maximum(y_col, 0.0), np.maximum(-y_col, 0.0)
+        pos_norm = np.linalg.norm(x_pos) * np.linalg.norm(y_pos)
+        neg_norm = np.linalg.norm(x_neg) * np.linalg.norm(y_neg)
+        if pos_norm >= neg_norm:
+            sigma = pos_norm
+            x_use, y_use = x_pos, y_pos
+        else:
+            sigma = neg_norm
+            x_use, y_use = x_neg, y_neg
+        if sigma == 0.0:
+            continue
+        factor = np.sqrt(s[k] * sigma)
+        u[:, k] = factor * x_use / (np.linalg.norm(x_use) or 1.0)
+        v[k, :] = factor * y_use / (np.linalg.norm(y_use) or 1.0)
+    floor = max(float(x_observed.mean()) * 1e-2, 1e-6)
+    u[u < floor] = floor
+    v[v < floor] = floor
+    return u, v

@@ -1,0 +1,136 @@
+"""Alternative landmark sources for the Section IV-C ablation.
+
+The paper generates landmarks with K-means but notes that "carefully
+curated landmarks show better imputation performance than others" -
+i.e. the landmark *source* is a design choice worth ablating.  This
+module provides the sources compared by the ablation benchmark:
+
+- ``kmeans``   - the paper's default (cluster centers of SI);
+- ``grid``     - a regular grid over the observation bounding box
+                 (coverage without data adaptivity);
+- ``sample``   - K observed locations drawn at random (data-adaptive
+                 but noisy);
+- ``random``   - uniform random points in the bounding box (the
+                 no-curation floor);
+- ``medoid``   - the observed location nearest each K-means center
+                 (centers snapped onto real observations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clustering.kmeans import KMeans
+from ..exceptions import ValidationError
+from ..spatial.distances import pairwise_sq_euclidean
+from ..spatial.similarity import prepare_spatial_coordinates
+from ..validation import check_positive_int, resolve_rng
+from .landmarks import LandmarkSet
+
+__all__ = ["LANDMARK_SOURCES", "build_landmarks"]
+
+LANDMARK_SOURCES: tuple[str, ...] = ("kmeans", "grid", "sample", "random", "medoid")
+"""Source names accepted by :func:`build_landmarks`."""
+
+
+def build_landmarks(
+    spatial: np.ndarray,
+    n_landmarks: int,
+    *,
+    source: str = "kmeans",
+    observed: np.ndarray | None = None,
+    random_state: object = None,
+) -> LandmarkSet:
+    """Build a :class:`LandmarkSet` from the chosen source.
+
+    Parameters
+    ----------
+    spatial:
+        ``(n, L)`` spatial block (NaNs allowed at missing cells).
+    n_landmarks:
+        Number of landmarks ``K``.
+    source:
+        One of :data:`LANDMARK_SOURCES`.
+    observed:
+        Optional boolean mask of observed spatial cells.
+    random_state:
+        Seed or Generator (used by the stochastic sources and K-means).
+    """
+    n_landmarks = check_positive_int(n_landmarks, name="n_landmarks")
+    if source not in LANDMARK_SOURCES:
+        raise ValidationError(
+            f"unknown landmark source {source!r}; available: {LANDMARK_SOURCES}"
+        )
+    coords = prepare_spatial_coordinates(spatial, observed)
+    rng = resolve_rng(random_state)
+    builder = {
+        "kmeans": _kmeans_landmarks,
+        "grid": _grid_landmarks,
+        "sample": _sample_landmarks,
+        "random": _random_landmarks,
+        "medoid": _medoid_landmarks,
+    }[source]
+    values = builder(coords, n_landmarks, rng)
+    return LandmarkSet(values=np.maximum(values, 0.0))
+
+
+def _kmeans_landmarks(
+    coords: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    model = KMeans(n_clusters=min(k, coords.shape[0]), random_state=rng)
+    model.fit(coords)
+    assert model.centers_ is not None
+    return _pad_to_k(model.centers_, k, coords, rng)
+
+
+def _grid_landmarks(
+    coords: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    low = coords.min(axis=0)
+    high = coords.max(axis=0)
+    n_dims = coords.shape[1]
+    per_dim = max(int(np.ceil(k ** (1.0 / n_dims))), 1)
+    axes = [np.linspace(low[d], high[d], per_dim) for d in range(n_dims)]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    grid = np.column_stack([m.ravel() for m in mesh])
+    if grid.shape[0] > k:
+        # Keep the k grid points closest to actual observations.
+        d2 = pairwise_sq_euclidean(grid, coords).min(axis=1)
+        grid = grid[np.argsort(d2, kind="stable")[:k]]
+    return _pad_to_k(grid, k, coords, rng)
+
+
+def _sample_landmarks(
+    coords: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    take = min(k, coords.shape[0])
+    idx = rng.choice(coords.shape[0], size=take, replace=False)
+    return _pad_to_k(coords[idx], k, coords, rng)
+
+
+def _random_landmarks(
+    coords: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    low = coords.min(axis=0)
+    high = coords.max(axis=0)
+    return low + rng.random((k, coords.shape[1])) * (high - low)
+
+
+def _medoid_landmarks(
+    coords: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    centers = _kmeans_landmarks(coords, k, rng)
+    d2 = pairwise_sq_euclidean(centers, coords)
+    nearest = np.argmin(d2, axis=1)
+    return coords[nearest]
+
+
+def _pad_to_k(
+    values: np.ndarray, k: int, coords: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Top up a landmark set to exactly ``k`` rows with random
+    observed locations (duplicated coordinates are acceptable)."""
+    if values.shape[0] >= k:
+        return values[:k]
+    extra = coords[rng.integers(coords.shape[0], size=k - values.shape[0])]
+    return np.vstack([values, extra])

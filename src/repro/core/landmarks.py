@@ -1,0 +1,124 @@
+"""Landmarks: the frozen spatial block of the feature matrix V.
+
+Definition 1 of the paper fixes the landmark entry set
+``Phi = {(i, j) | 1 <= i <= K, 1 <= j <= L}`` - the first ``L`` columns
+of **V**.  Section III-A proposes to fill those entries with the ``K``
+cluster centers of the spatial information ``SI`` computed by K-means
+(Formula 9) and to keep them constant through every update iteration.
+
+:class:`LandmarkSet` carries the landmark values ``C`` and produces the
+frozen-cell mask; :func:`kmeans_landmarks` is the paper's default
+builder.  Custom landmark matrices (e.g. hand-curated locations, used
+by the interpretability study of Section IV-C) are supported through
+the class constructor directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..clustering.kmeans import DEFAULT_MAX_ITER, KMeans
+from ..exceptions import ValidationError
+from ..spatial.similarity import prepare_spatial_coordinates
+from ..validation import as_matrix, check_positive_int
+
+__all__ = ["LandmarkSet", "kmeans_landmarks"]
+
+
+@dataclass(frozen=True)
+class LandmarkSet:
+    """Landmark values ``C`` destined for the first ``L`` columns of V.
+
+    Parameters
+    ----------
+    values:
+        ``(K, L)`` landmark coordinate matrix; must be non-negative
+        because V is constrained non-negative (inject after min-max
+        normalising the data).
+    """
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = as_matrix(self.values, name="landmark values", copy=True)
+        if (values < 0).any():
+            raise ValidationError(
+                "landmark values must be non-negative (V is constrained "
+                "non-negative); normalise the data before building landmarks"
+            )
+        values.setflags(write=False)
+        object.__setattr__(self, "values", values)
+
+    @property
+    def n_landmarks(self) -> int:
+        """``K``: the number of landmark rows."""
+        return self.values.shape[0]
+
+    @property
+    def n_spatial(self) -> int:
+        """``L``: the number of spatial columns the landmarks occupy."""
+        return self.values.shape[1]
+
+    def frozen_mask(self, v_shape: tuple[int, int]) -> np.ndarray:
+        """Boolean ``(K, M)`` mask of the Phi cells within a V of ``v_shape``."""
+        k, m = v_shape
+        if k != self.n_landmarks:
+            raise ValidationError(
+                f"V has {k} rows but the landmark set has {self.n_landmarks}"
+            )
+        if m < self.n_spatial:
+            raise ValidationError(
+                f"V has {m} columns, fewer than the {self.n_spatial} landmark columns"
+            )
+        mask = np.zeros((k, m), dtype=bool)
+        mask[:, : self.n_spatial] = True
+        return mask
+
+    def inject(self, v: np.ndarray) -> np.ndarray:
+        """Formula 9: return a copy of V with the landmark block written in."""
+        v = as_matrix(v, name="v", copy=True)
+        self.frozen_mask(v.shape)  # shape validation
+        v[:, : self.n_spatial] = self.values
+        return v
+
+
+def kmeans_landmarks(
+    spatial: np.ndarray,
+    n_landmarks: int,
+    *,
+    observed: np.ndarray | None = None,
+    max_iter: int = DEFAULT_MAX_ITER,
+    random_state: object = None,
+) -> LandmarkSet:
+    """The paper's landmark builder: K-means centers of ``SI``.
+
+    Parameters
+    ----------
+    spatial:
+        ``(n, L)`` spatial block, possibly with NaN at missing cells
+        (filled with observed column means per Section II-C before
+        clustering).
+    n_landmarks:
+        ``K``, equal to the factorization rank (Section III-A sets the
+        K-means cluster count ``K'`` equal to the NMF rank ``K``).
+    observed:
+        Optional boolean mask of observed spatial cells.
+    max_iter:
+        K-means budget ``t2`` (paper default 300).
+    random_state:
+        Seed or Generator.
+    """
+    n_landmarks = check_positive_int(n_landmarks, name="n_landmarks")
+    coords = prepare_spatial_coordinates(spatial, observed)
+    # A single K-means run (the paper's Algorithm 1 line 5 runs K-means
+    # once); k-means++ seeding keeps it stable without restarts.
+    model = KMeans(
+        n_clusters=n_landmarks, max_iter=max_iter, n_init=1,
+        random_state=random_state,
+    )
+    model.fit(coords)
+    assert model.centers_ is not None
+    centers = np.maximum(model.centers_, 0.0)
+    return LandmarkSet(values=centers)

@@ -1,0 +1,179 @@
+"""SMF: Spatial Matrix Factorization (Problem 1).
+
+Masked NMF plus the graph-Laplacian spatial regularizer of
+Section II-C:
+
+    min_{U,V >= 0}  ||R_Omega(X - U V)||_F^2 + lambda Tr(U^T L U)
+
+where ``L = W - D`` is built from the ``p``-nearest-neighbour graph
+over the spatial-information columns ``SI`` (the first ``L`` columns of
+X).  Both update strategies of Section III-B are available; Figure 5's
+"SMF-GD" and "SMF-Multi" correspond to ``update_rule="gradient"`` and
+``"multiplicative"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import NotFittedError, ValidationError
+from ..masking.mask import ObservationMask
+from ..spatial.laplacian import laplacian_from_points
+from ..validation import check_in_range, check_positive_int, check_spatial_columns
+from .factorization import MatrixFactorizationBase
+from .objective import masked_frobenius_sq, smoothness_penalty
+from .updates import (
+    gradient_update_u,
+    gradient_update_v,
+    multiplicative_update_u,
+    multiplicative_update_v,
+)
+
+__all__ = ["SMF"]
+
+DEFAULT_LAMBDA = 0.1
+"""Default regularization weight, from the paper's best region (Fig. 6)."""
+
+DEFAULT_NEIGHBORS = 3
+"""Default p: the paper finds the 3-nearest-neighbour graph best (Fig. 7)."""
+
+
+class SMF(MatrixFactorizationBase):
+    """Spatial Matrix Factorization (Problem 1 of the paper).
+
+    Parameters
+    ----------
+    rank:
+        Factorization rank ``K``.
+    n_spatial:
+        Number of leading spatial columns ``L`` (typically 2).
+    lam:
+        Spatial-regularization weight lambda (Figure 6 sweeps it;
+        0.05-0.1 is the recommended region).
+    p_neighbors:
+        Neighbour count ``p`` of the similarity graph (Figure 7;
+        ``p = 3`` recommended).
+    neighbor_method:
+        k-NN search strategy (``"auto"``, ``"brute"``, ``"kdtree"``).
+    **kwargs:
+        Forwarded to :class:`MatrixFactorizationBase` (``max_iter``,
+        ``tol``, ``update_rule``, ``learning_rate``, ``init``,
+        ``eval_every``, ``random_state``).
+
+    Attributes (after fit)
+    ----------------------
+    similarity_:
+        The Formula 3 matrix **D**.
+    degree_:
+        The degree vector (diagonal of the Formula 4 matrix **W**).
+    laplacian_:
+        ``L = W - D``.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        *,
+        n_spatial: int = 2,
+        lam: float = DEFAULT_LAMBDA,
+        p_neighbors: int = DEFAULT_NEIGHBORS,
+        neighbor_method: str = "auto",
+        **kwargs: object,
+    ) -> None:
+        super().__init__(rank, **kwargs)  # type: ignore[arg-type]
+        self.n_spatial = check_positive_int(n_spatial, name="n_spatial")
+        self.lam = check_in_range(lam, name="lam", low=0.0)
+        self.p_neighbors = check_positive_int(p_neighbors, name="p_neighbors")
+        self.neighbor_method = neighbor_method
+        self.similarity_: np.ndarray | None = None
+        self.degree_: np.ndarray | None = None
+        self.laplacian_: np.ndarray | None = None
+        self._similarity_op: object = None
+        self._laplacian_op: object = None
+
+    def _prepare_fit(
+        self, x: np.ndarray, x_observed: np.ndarray, mask: ObservationMask
+    ) -> None:
+        check_spatial_columns(self.n_spatial, x.shape[1])
+        spatial = x[:, : self.n_spatial]
+        spatial_observed = mask.observed[:, : self.n_spatial]
+        similarity, degree, laplacian = laplacian_from_points(
+            spatial,
+            self.p_neighbors,
+            observed=spatial_observed,
+            method=self.neighbor_method,
+        )
+        self.similarity_ = similarity
+        self.degree_ = np.diag(degree).copy()
+        self.laplacian_ = laplacian
+        # Sparse view of the p-NN graph for the per-iteration D @ U
+        # product (Proposition 1 assumes this costs O(p N K), not
+        # O(N^2 K)); scipy is optional - fall back to dense if absent.
+        try:
+            from scipy import sparse
+
+            self._similarity_op = sparse.csr_matrix(similarity)
+            self._laplacian_op = sparse.csr_matrix(laplacian)
+        except ImportError:  # pragma: no cover - scipy is a soft dependency
+            self._similarity_op = similarity
+            self._laplacian_op = laplacian
+
+    def _objective(
+        self,
+        x: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        observed: np.ndarray,
+    ) -> float:
+        value = masked_frobenius_sq(x, u, v, observed)
+        if self.lam != 0.0:
+            assert self._laplacian_op is not None
+            # Sparse quadratic form: equals smoothness_penalty(u, L)
+            # but costs O(p N K) instead of O(N^2 K) per evaluation.
+            penalty = float(np.sum(u * np.asarray(self._laplacian_op @ u)))
+            value += self.lam * max(penalty, 0.0)
+        return value
+
+    def _frozen_v_mask(self, v_shape: tuple[int, int]) -> np.ndarray | None:
+        """Landmark mask hook; plain SMF freezes nothing."""
+        return None
+
+    def _step(
+        self,
+        x_observed: np.ndarray,
+        observed: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        frozen_v = self._frozen_v_mask(v.shape)
+        if self.update_rule == "multiplicative":
+            if self.similarity_ is None or self.degree_ is None:
+                raise ValidationError("fit must prepare the spatial graph first")
+            u = multiplicative_update_u(
+                x_observed, observed, u, v,
+                lam=self.lam, similarity=self._similarity_op, degree=self.degree_,
+            )
+            v = multiplicative_update_v(x_observed, observed, u, v, frozen_v=frozen_v)
+            return u, v
+        if self.laplacian_ is None:
+            raise ValidationError("fit must prepare the spatial graph first")
+        u = gradient_update_u(
+            x_observed, observed, u, v,
+            learning_rate=self.learning_rate, lam=self.lam, laplacian=self.laplacian_,
+        )
+        v = gradient_update_v(
+            x_observed, observed, u, v,
+            learning_rate=self.learning_rate, frozen_v=frozen_v,
+        )
+        return u, v
+
+    def feature_locations(self) -> np.ndarray:
+        """Learned feature locations: the first ``L`` columns of V.
+
+        For SMF these float freely (Figure 5 shows them landing far
+        from the observations); for SMFL they are exactly the frozen
+        landmark coordinates (Figure 5's red points).
+        """
+        if self.v_ is None:
+            raise NotFittedError("feature_locations requires a fitted model")
+        return self.v_[:, : self.n_spatial].copy()

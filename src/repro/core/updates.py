@@ -1,0 +1,168 @@
+"""Update kernels for the masked NMF family (Section III-B).
+
+Two strategies are implemented, exactly as the paper describes:
+
+1. **Multiplicative updates** (Formulas 13 and 14) - the self-adaptive
+   scheme whose convergence Propositions 5 and 7 establish:
+
+       u_ik <- u_ik * (R_O(X) V^T + lam D U)_ik / (R_O(UV) V^T + lam W U)_ik
+       v_kj <- v_kj * (U^T R_O(X))_kj / (U^T R_O(UV))_kj    for (k,j) not in Phi
+       v_kj <- c_kj                                          for (k,j) in Phi
+
+2. **Gradient descent** (Section III-B1, used as SMF-GD in Figure 5) -
+   plain projected gradient steps with a global learning rate.
+
+Landmark freezing is expressed through an optional boolean
+``frozen_v`` mask: frozen cells of V keep their value through either
+update (their "gradient is set to 0", Section III-A).
+
+Denominators are guarded with a small epsilon; a zero numerator
+therefore drives the entry to zero rather than producing NaN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "EPSILON",
+    "multiplicative_update_u",
+    "multiplicative_update_v",
+    "gradient_update_u",
+    "gradient_update_v",
+]
+
+EPSILON = 1e-12
+"""Denominator guard for the multiplicative rules."""
+
+
+def multiplicative_update_u(
+    x_observed: np.ndarray,
+    observed: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    *,
+    lam: float = 0.0,
+    similarity: np.ndarray | None = None,
+    degree: np.ndarray | None = None,
+) -> np.ndarray:
+    """One multiplicative step on U (Formula 13).
+
+    Parameters
+    ----------
+    x_observed:
+        ``R_Omega(X)``: the data with unobserved cells already zeroed.
+    observed:
+        Boolean mask (``True`` = observed), used to mask ``U V``.
+    u, v:
+        Current factors.
+    lam:
+        Spatial-regularization weight; 0 disables the graph terms.
+    similarity:
+        The Formula 3 matrix **D** (numerator term ``lam * D U``).
+    degree:
+        Degree *vector* ``w_ii = sum_t d_it`` (denominator term
+        ``lam * W U`` with diagonal W applied row-wise).
+
+    Returns
+    -------
+    The updated U (a new array; inputs are not mutated).
+    """
+    reconstruction = np.where(observed, u @ v, 0.0)
+    numerator = x_observed @ v.T
+    denominator = reconstruction @ v.T
+    if lam != 0.0:
+        if similarity is None or degree is None:
+            raise ValueError("lam != 0 requires similarity and degree")
+        # `similarity` may be a scipy.sparse matrix: the p-NN graph has
+        # only O(p N) edges, and Proposition 1's complexity bound
+        # requires the D @ U product to exploit that sparsity.
+        numerator = numerator + lam * np.asarray(similarity @ u)
+        denominator = denominator + lam * (degree[:, None] * u)
+    return u * (numerator / (denominator + EPSILON))
+
+
+def multiplicative_update_v(
+    x_observed: np.ndarray,
+    observed: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    *,
+    frozen_v: np.ndarray | None = None,
+) -> np.ndarray:
+    """One multiplicative step on V (Formula 14).
+
+    ``frozen_v`` cells (the landmark set Phi) are carried over
+    unchanged; all other cells receive the multiplicative factor.
+
+    When entire columns are frozen (the landmark layout: the first
+    ``L`` columns of V), the update is computed only for the live
+    columns - this is the Section IV-E computation saving that makes
+    SMFL's iterations cheaper than SMF's.
+    """
+    if frozen_v is not None:
+        frozen_cols = frozen_v.all(axis=0)
+        if frozen_cols.any() and (frozen_v == frozen_cols[None, :]).all():
+            live = ~frozen_cols
+            if not live.any():
+                return v.copy()
+            v_live = v[:, live]
+            recon_live = np.where(observed[:, live], u @ v_live, 0.0)
+            numerator = u.T @ x_observed[:, live]
+            denominator = u.T @ recon_live
+            updated = v.copy()
+            updated[:, live] = v_live * (numerator / (denominator + EPSILON))
+            return updated
+    reconstruction = np.where(observed, u @ v, 0.0)
+    numerator = u.T @ x_observed
+    denominator = u.T @ reconstruction
+    updated = v * (numerator / (denominator + EPSILON))
+    if frozen_v is not None:
+        updated = np.where(frozen_v, v, updated)
+    return updated
+
+
+def gradient_update_u(
+    x_observed: np.ndarray,
+    observed: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    *,
+    learning_rate: float,
+    lam: float = 0.0,
+    laplacian: np.ndarray | None = None,
+) -> np.ndarray:
+    """One projected-gradient step on U (Section III-B1).
+
+    ``grad = -2 R_O(X) V^T + 2 R_O(UV) V^T + 2 lam L U``; the step is
+    followed by projection onto the non-negative orthant.
+    """
+    reconstruction = np.where(observed, u @ v, 0.0)
+    grad = 2.0 * (reconstruction - x_observed) @ v.T
+    if lam != 0.0:
+        if laplacian is None:
+            raise ValueError("lam != 0 requires a laplacian")
+        grad = grad + 2.0 * lam * (laplacian @ u)
+    return np.maximum(u - learning_rate * grad, 0.0)
+
+
+def gradient_update_v(
+    x_observed: np.ndarray,
+    observed: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    *,
+    learning_rate: float,
+    frozen_v: np.ndarray | None = None,
+) -> np.ndarray:
+    """One projected-gradient step on V (Section III-B1).
+
+    ``grad = -2 U^T R_O(X) + 2 U^T R_O(UV)``; frozen (landmark) cells
+    keep their value - their gradient is defined to be zero.
+    """
+    reconstruction = np.where(observed, u @ v, 0.0)
+    grad = 2.0 * u.T @ (reconstruction - x_observed)
+    updated = np.maximum(v - learning_rate * grad, 0.0)
+    if frozen_v is not None:
+        updated = np.where(frozen_v, v, updated)
+    return updated

@@ -1,0 +1,42 @@
+"""Data substrate: spatial datasets, generators, and preprocessing.
+
+The paper evaluates on four real-world datasets (Economic, Farm, Lake,
+Vehicle; Table III).  Two are public but not redistributable here and
+one is proprietary, so this subpackage provides deterministic synthetic
+generators with matched shapes and the statistical structure the
+algorithms exploit: spatially-smooth attribute fields over clustered
+2-D locations plus cross-attribute regressions.  See DESIGN.md
+Section 2 for the substitution rationale.
+"""
+
+from .schema import SpatialDataset
+from .fields import RBFField, make_smooth_field
+from .generators import (
+    make_economic,
+    make_farm,
+    make_lake,
+    make_vehicle,
+)
+from .registry import DATASET_NAMES, load_dataset
+from .preprocessing import (
+    MinMaxScaler,
+    extract_complete_holdout,
+    filter_complete_rows,
+    minmax_normalize,
+)
+
+__all__ = [
+    "SpatialDataset",
+    "RBFField",
+    "make_smooth_field",
+    "make_economic",
+    "make_farm",
+    "make_lake",
+    "make_vehicle",
+    "DATASET_NAMES",
+    "load_dataset",
+    "MinMaxScaler",
+    "minmax_normalize",
+    "filter_complete_rows",
+    "extract_complete_holdout",
+]

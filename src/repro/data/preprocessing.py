@@ -1,0 +1,118 @@
+"""Pre-processing steps of Section IV-A1.
+
+The paper's protocol before every experiment:
+
+1. keep only complete tuples (the originals have quality issues);
+2. set aside 100 complete tuples untouched by injection, because some
+   baselines need complete rows to operate;
+3. min-max normalise every column into [0, 1] "to balance the
+   influences of the different scales of different columns" (this also
+   satisfies the non-negativity requirement of the NMF family).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import DegenerateDataError, NotFittedError
+from ..validation import as_matrix, check_positive_int, resolve_rng
+
+__all__ = [
+    "MinMaxScaler",
+    "minmax_normalize",
+    "filter_complete_rows",
+    "extract_complete_holdout",
+]
+
+
+@dataclass
+class MinMaxScaler:
+    """Per-column min-max scaling into ``[0, 1]``, invertible.
+
+    Constant columns map to 0.0 (and invert back to their constant),
+    so zero-variance columns never produce NaN.
+    """
+
+    data_min_: np.ndarray | None = field(default=None, init=False, repr=False)
+    data_range_: np.ndarray | None = field(default=None, init=False, repr=False)
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        """Learn per-column minima and ranges, ignoring NaN cells."""
+        x = as_matrix(x, name="x", allow_nan=True)
+        with warnings.catch_warnings():
+            # All-NaN columns are reported as a DegenerateDataError below.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            self.data_min_ = np.nanmin(x, axis=0)
+            data_max = np.nanmax(x, axis=0)
+        if np.isnan(self.data_min_).any():
+            raise DegenerateDataError("some column has no observed values to scale")
+        self.data_range_ = data_max - self.data_min_
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Scale columns into [0, 1]; NaNs pass through unchanged."""
+        if self.data_min_ is None or self.data_range_ is None:
+            raise NotFittedError("MinMaxScaler.transform called before fit")
+        x = as_matrix(x, name="x", allow_nan=True)
+        if x.shape[1] != self.data_min_.size:
+            raise DegenerateDataError(
+                f"x has {x.shape[1]} columns, scaler was fitted on {self.data_min_.size}"
+            )
+        safe_range = np.where(self.data_range_ == 0.0, 1.0, self.data_range_)
+        return (x - self.data_min_) / safe_range
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original units."""
+        if self.data_min_ is None or self.data_range_ is None:
+            raise NotFittedError("MinMaxScaler.inverse_transform called before fit")
+        x = as_matrix(x, name="x", allow_nan=True)
+        if x.shape[1] != self.data_min_.size:
+            raise DegenerateDataError(
+                f"x has {x.shape[1]} columns, scaler was fitted on {self.data_min_.size}"
+            )
+        return x * self.data_range_ + self.data_min_
+
+
+def minmax_normalize(x: np.ndarray) -> np.ndarray:
+    """One-shot column-wise min-max normalisation into [0, 1]."""
+    return MinMaxScaler().fit_transform(x)
+
+
+def filter_complete_rows(x: np.ndarray) -> np.ndarray:
+    """Keep only rows without NaN (the paper's ground-truth selection)."""
+    x = as_matrix(x, name="x", allow_nan=True)
+    complete = ~np.isnan(x).any(axis=1)
+    if not complete.any():
+        raise DegenerateDataError("no complete rows in the data")
+    return x[complete]
+
+
+def extract_complete_holdout(
+    n_rows_total: int,
+    n_holdout: int = 100,
+    *,
+    random_state: object = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pick the paper's "100 complete tuples" protected from injection.
+
+    Returns
+    -------
+    holdout_rows, remaining_rows:
+        Sorted index arrays partitioning ``range(n_rows_total)``.  When
+        the dataset has fewer than ``2 * n_holdout`` rows the holdout
+        shrinks to a quarter of the data so injection still has room.
+    """
+    n_rows_total = check_positive_int(n_rows_total, name="n_rows_total")
+    n_holdout = check_positive_int(n_holdout, name="n_holdout")
+    n_holdout = min(n_holdout, max(1, n_rows_total // 4))
+    rng = resolve_rng(random_state)
+    holdout = np.sort(rng.choice(n_rows_total, size=n_holdout, replace=False))
+    remaining = np.setdiff1d(np.arange(n_rows_total), holdout)
+    return holdout, remaining

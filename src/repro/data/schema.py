@@ -1,0 +1,138 @@
+"""The :class:`SpatialDataset` container.
+
+A spatial dataset in the paper's sense is a numeric matrix whose first
+``L`` columns carry spatial information (Section II-A, Table I).  The
+container keeps the matrix, the spatial-column count, column names, and
+(for the clustering application) optional ground-truth cluster labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..validation import as_matrix, check_spatial_columns
+
+__all__ = ["SpatialDataset"]
+
+
+@dataclass(frozen=True)
+class SpatialDataset:
+    """An immutable spatial data matrix with metadata.
+
+    Parameters
+    ----------
+    values:
+        ``(n, m)`` float matrix; the first ``n_spatial`` columns are the
+        spatial information ``SI``.
+    n_spatial:
+        Number of leading spatial columns ``L`` (typically 2: latitude
+        and longitude).
+    name:
+        Human-readable dataset name.
+    column_names:
+        Optional names for the ``m`` columns.
+    labels:
+        Optional ``(n,)`` integer ground-truth cluster labels, used by
+        the clustering application (Figure 4b).
+    """
+
+    values: np.ndarray
+    n_spatial: int
+    name: str = "dataset"
+    column_names: tuple[str, ...] = field(default_factory=tuple)
+    labels: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        values = as_matrix(self.values, name="values", copy=True)
+        values.setflags(write=False)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(
+            self, "n_spatial", check_spatial_columns(self.n_spatial, values.shape[1])
+        )
+        if self.column_names:
+            if len(self.column_names) != values.shape[1]:
+                raise ValidationError(
+                    f"column_names has {len(self.column_names)} entries for "
+                    f"{values.shape[1]} columns"
+                )
+            object.__setattr__(self, "column_names", tuple(self.column_names))
+        else:
+            spatial = [f"si_{i}" for i in range(self.n_spatial)]
+            attrs = [f"attr_{i}" for i in range(values.shape[1] - self.n_spatial)]
+            object.__setattr__(self, "column_names", tuple(spatial + attrs))
+        if self.labels is not None:
+            labels = np.asarray(self.labels, dtype=np.int64)
+            if labels.shape != (values.shape[0],):
+                raise ValidationError(
+                    f"labels shape {labels.shape} does not match row count {values.shape[0]}"
+                )
+            labels = labels.copy()
+            labels.setflags(write=False)
+            object.__setattr__(self, "labels", labels)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of tuples ``N``."""
+        return self.values.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns ``M`` (spatial + additional attributes)."""
+        return self.values.shape[1]
+
+    @property
+    def spatial(self) -> np.ndarray:
+        """The ``(n, L)`` spatial-information block ``SI``."""
+        return self.values[:, : self.n_spatial]
+
+    @property
+    def attributes(self) -> np.ndarray:
+        """The ``(n, m - L)`` non-spatial attribute block."""
+        return self.values[:, self.n_spatial :]
+
+    @property
+    def spatial_columns(self) -> tuple[int, ...]:
+        """Indices of the spatial columns (always the first ``L``)."""
+        return tuple(range(self.n_spatial))
+
+    @property
+    def attribute_columns(self) -> tuple[int, ...]:
+        """Indices of the non-spatial columns."""
+        return tuple(range(self.n_spatial, self.n_cols))
+
+    def subsample(self, n_rows: int, *, random_state: object = None) -> "SpatialDataset":
+        """Uniform row subsample (used by the runtime sweeps of Figure 9)."""
+        from ..validation import check_positive_int, resolve_rng
+
+        n_rows = check_positive_int(n_rows, name="n_rows")
+        if n_rows > self.n_rows:
+            raise ValidationError(
+                f"cannot subsample {n_rows} rows from a {self.n_rows}-row dataset"
+            )
+        rng = resolve_rng(random_state)
+        idx = np.sort(rng.choice(self.n_rows, size=n_rows, replace=False))
+        return SpatialDataset(
+            values=self.values[idx],
+            n_spatial=self.n_spatial,
+            name=self.name,
+            column_names=self.column_names,
+            labels=None if self.labels is None else self.labels[idx],
+        )
+
+    def with_values(self, values: np.ndarray) -> "SpatialDataset":
+        """Copy of this dataset with a replaced value matrix (same shape)."""
+        values = as_matrix(values, name="values")
+        if values.shape != self.values.shape:
+            raise ValidationError(
+                f"replacement shape {values.shape} does not match {self.values.shape}"
+            )
+        return SpatialDataset(
+            values=values,
+            n_spatial=self.n_spatial,
+            name=self.name,
+            column_names=self.column_names,
+            labels=self.labels,
+        )

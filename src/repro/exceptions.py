@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`
+raised by numpy itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input array or parameter failed validation.
+
+    Raised when the caller passes data that the algorithms cannot
+    meaningfully process: wrong dimensionality, NaN/inf where finite
+    values are required, negative values where non-negativity is a
+    model constraint, or out-of-range hyper-parameters.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted state was called before ``fit``."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solver stopped at its iteration budget without
+    meeting its convergence tolerance."""
+
+
+class DegenerateDataError(ReproError, ValueError):
+    """The data is degenerate for the requested operation.
+
+    Examples: clustering with more clusters than distinct points,
+    imputing a column with no observed entries, or building a k-NN
+    graph with fewer points than requested neighbours.
+    """

@@ -1,0 +1,58 @@
+"""Experiment harness: one regenerator per paper table and figure.
+
+Every entry point follows the paper's protocol (Section IV-A): four
+datasets, min-max normalised, 100 complete tuples protected from
+injection, each experiment repeated ``n_runs`` times (paper: 5) and
+averaged.  See DESIGN.md Section 4 for the experiment index and
+EXPERIMENTS.md for recorded paper-vs-measured results.
+
+Command line:
+
+    python -m repro.experiments list
+    python -m repro.experiments table4 [--fast]
+    python -m repro.experiments figure6 [--fast]
+"""
+
+from .protocol import (
+    DATASET_RANKS,
+    DATASET_SEEDS,
+    EXPERIMENT_ROWS,
+    ImputationTrial,
+    prepare_trial,
+    run_method_on_trial,
+)
+from .tables import table_iv, table_v, table_vi, table_vii
+from .figures import (
+    figure_4a,
+    figure_4b,
+    figure_5,
+    figure_6,
+    figure_7,
+    figure_8,
+    figure_9,
+)
+from .reporting import format_table
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "DATASET_RANKS",
+    "DATASET_SEEDS",
+    "EXPERIMENT_ROWS",
+    "ImputationTrial",
+    "prepare_trial",
+    "run_method_on_trial",
+    "table_iv",
+    "table_v",
+    "table_vi",
+    "table_vii",
+    "figure_4a",
+    "figure_4b",
+    "figure_5",
+    "figure_6",
+    "figure_7",
+    "figure_8",
+    "figure_9",
+    "format_table",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,77 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table4 [--fast] [--runs N]
+    python -m repro.experiments figure6 --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .registry import EXPERIMENTS, run_experiment
+from .reporting import format_series, format_table
+
+
+def _print_result(name: str, result: object) -> None:
+    if isinstance(result, dict) and result and all(
+        isinstance(v, dict) for v in result.values()
+    ):
+        print(format_table(result, title=f"## {name}"))  # noqa: T201
+        return
+    if isinstance(result, dict) and result and all(
+        isinstance(v, (int, float)) for v in result.values()
+    ):
+        print(format_series(result, title=f"## {name}"))  # noqa: T201
+        return
+    if isinstance(result, dict):
+        print(f"## {name}")  # noqa: T201
+        for key, value in result.items():
+            if isinstance(value, np.ndarray):
+                print(f"{key}: array{value.shape}")  # noqa: T201
+            else:
+                print(f"{key}: {value}")  # noqa: T201
+        return
+    print(result)  # noqa: T201
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and run the requested experiment."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. table4, figure6) or 'list'",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="reduced row counts for a quick run",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=None,
+        help="override the number of repetitions (paper: 5)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)  # noqa: T201
+        return 0
+
+    kwargs: dict[str, object] = {"fast": args.fast}
+    if args.runs is not None and args.experiment not in ("figure5", "figure9"):
+        kwargs["n_runs"] = args.runs
+    result = run_experiment(args.experiment, **kwargs)
+    _print_result(args.experiment, result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

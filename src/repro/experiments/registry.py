@@ -1,0 +1,35 @@
+"""Experiment registry: name -> regenerator, for the CLI and benches."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..exceptions import ValidationError
+from . import figures, tables
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS: dict[str, Callable[..., object]] = {
+    "table4": tables.table_iv,
+    "table5": tables.table_v,
+    "table6": tables.table_vi,
+    "table7": tables.table_vii,
+    "figure4a": figures.figure_4a,
+    "figure4b": figures.figure_4b,
+    "figure5": figures.figure_5,
+    "figure6": figures.figure_6,
+    "figure7": figures.figure_7,
+    "figure8": figures.figure_8,
+    "figure9": figures.figure_9,
+}
+"""Every table/figure regenerator, keyed by its paper id."""
+
+
+def run_experiment(name: str, **kwargs: object) -> object:
+    """Run one registered experiment by paper id (e.g. ``"table4"``)."""
+    key = str(name).lower()
+    if key not in EXPERIMENTS:
+        raise ValidationError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[key](**kwargs)

@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment results.
+
+Results come out of :mod:`repro.experiments.tables` and ``figures`` as
+``{row_label: {column_label: value}}``; :func:`format_table` renders
+them as a GitHub-flavoured markdown table whose rows and columns keep
+insertion order.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    results: dict[str, dict[str, float]],
+    *,
+    title: str = "",
+    precision: int = 4,
+    highlight_min: bool = True,
+) -> str:
+    """Render nested result dictionaries as a markdown table.
+
+    Parameters
+    ----------
+    results:
+        ``{row_label: {column_label: value}}``.
+    title:
+        Optional heading line.
+    precision:
+        Decimal places for float cells.
+    highlight_min:
+        Mark each row's minimum value with ``*`` (the winner per row).
+    """
+    if not results:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns: list[str] = []
+    for row in results.values():
+        for col in row:
+            if col not in columns:
+                columns.append(col)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = "| dataset | " + " | ".join(columns) + " |"
+    divider = "|---" * (len(columns) + 1) + "|"
+    lines.append(header)
+    lines.append(divider)
+    for row_label, row in results.items():
+        numeric = {c: v for c, v in row.items() if isinstance(v, (int, float))}
+        best = min(numeric.values()) if (numeric and highlight_min) else None
+        cells = []
+        for col in columns:
+            value = row.get(col)
+            if value is None:
+                cells.append("-")
+            elif isinstance(value, float):
+                text = f"{value:.{precision}f}"
+                if best is not None and value == best:
+                    text += "*"
+                cells.append(text)
+            else:
+                cells.append(str(value))
+        lines.append(f"| {row_label} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def format_series(results: dict[str, float], *, title: str = "", precision: int = 4) -> str:
+    """Render a flat ``{label: value}`` series as a two-column table."""
+    rows = {label: {"value": value} for label, value in results.items()}
+    return format_table(rows, title=title, precision=precision, highlight_min=False)

@@ -1,0 +1,21 @@
+"""Observation masks and error injection.
+
+:mod:`repro.masking.mask` implements the Omega/Psi bookkeeping of
+Section II-A (the ``R_Omega`` operator and the Formula 8 merge of
+observed values with learned ones).  :mod:`repro.masking.injection`
+implements the two error-injection protocols of Section IV-A1: random
+value removal for the imputation task and same-domain value swaps for
+the repair task.
+"""
+
+from .mask import ObservationMask, mask_from_missing_values
+from .injection import inject_missing, inject_errors, MissingSpec, ErrorSpec
+
+__all__ = [
+    "ObservationMask",
+    "mask_from_missing_values",
+    "inject_missing",
+    "inject_errors",
+    "MissingSpec",
+    "ErrorSpec",
+]

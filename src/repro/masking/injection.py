@@ -1,0 +1,197 @@
+"""Error injection protocols of Section IV-A1.
+
+Two tasks, two protocols:
+
+- **Imputation** (Table IV/V/VII): values are removed at random from a
+  chosen set of columns, controlled by ``missing_rate``.  Table IV
+  masks only non-spatial columns; Table V also masks spatial ones.
+- **Repair** (Table VI): values in *all* columns are replaced by other
+  values drawn from the same column domain, controlled by
+  ``error_rate``.  The injected-cell set doubles as the Psi handed to
+  the repairers (the paper assumes error detection supplies it).
+
+Both injections guarantee at least one observed entry per column, so
+downstream similarity graphs and regressions stay well-posed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import DegenerateDataError
+from ..validation import as_matrix, check_in_range, resolve_rng
+from .mask import ObservationMask
+
+__all__ = ["MissingSpec", "ErrorSpec", "inject_missing", "inject_errors"]
+
+
+@dataclass(frozen=True)
+class MissingSpec:
+    """Configuration for imputation-task injection.
+
+    Parameters
+    ----------
+    missing_rate:
+        Fraction of cells removed within the target columns, in (0, 1).
+    columns:
+        Column indices eligible for removal; ``None`` means all columns.
+    protect_rows:
+        Row indices that are never injected (the paper keeps 100
+        complete tuples aside for methods that need complete rows).
+    """
+
+    missing_rate: float
+    columns: tuple[int, ...] | None = None
+    protect_rows: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        check_in_range(
+            self.missing_rate, name="missing_rate", low=0.0, high=1.0,
+            low_inclusive=False, high_inclusive=False,
+        )
+
+
+@dataclass(frozen=True)
+class ErrorSpec:
+    """Configuration for repair-task injection.
+
+    Parameters
+    ----------
+    error_rate:
+        Fraction of cells corrupted, in (0, 1).  Corruption replaces a
+        value with another value of the same column (same domain).
+    protect_rows:
+        Row indices never corrupted.
+    """
+
+    error_rate: float
+    protect_rows: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        check_in_range(
+            self.error_rate, name="error_rate", low=0.0, high=1.0,
+            low_inclusive=False, high_inclusive=False,
+        )
+
+
+def _eligible_cells(
+    n_rows: int,
+    columns: np.ndarray,
+    protect_rows: tuple[int, ...],
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (row, col) pairs open to injection, as parallel index arrays."""
+    rows = np.setdiff1d(np.arange(n_rows), np.asarray(protect_rows, dtype=np.int64))
+    if rows.size == 0:
+        raise DegenerateDataError("every row is protected; nothing can be injected")
+    grid_rows = np.repeat(rows, columns.size)
+    grid_cols = np.tile(columns, rows.size)
+    return grid_rows, grid_cols
+
+
+def _sample_cells(
+    grid_rows: np.ndarray,
+    grid_cols: np.ndarray,
+    n_inject: int,
+    n_cols_total: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample injected cells while leaving >= 1 untouched cell per column."""
+    n_cells = grid_rows.size
+    if n_inject >= n_cells:
+        raise DegenerateDataError(
+            f"injection would cover all {n_cells} eligible cells; lower the rate"
+        )
+    chosen = rng.choice(n_cells, size=n_inject, replace=False)
+    sel_rows, sel_cols = grid_rows[chosen], grid_cols[chosen]
+    # Keep at least one clean cell per column: drop one injected cell from
+    # any column that got fully covered.
+    col_totals = np.bincount(grid_cols, minlength=n_cols_total)
+    col_hits = np.bincount(sel_cols, minlength=n_cols_total)
+    keep = np.ones(sel_rows.size, dtype=bool)
+    for col in np.nonzero((col_hits >= col_totals) & (col_totals > 0))[0]:
+        victims = np.nonzero(sel_cols == col)[0]
+        keep[victims[0]] = False
+    return sel_rows[keep], sel_cols[keep]
+
+
+def inject_missing(
+    x: np.ndarray,
+    spec: MissingSpec,
+    *,
+    random_state: object = None,
+) -> tuple[np.ndarray, ObservationMask]:
+    """Remove values at random per the imputation protocol.
+
+    Returns
+    -------
+    x_missing, mask:
+        ``x_missing`` equals ``x`` with injected cells zeroed;
+        ``mask.observed`` is ``False`` exactly at the injected cells.
+        The ground truth stays with the caller for RMS evaluation.
+    """
+    x = as_matrix(x, name="x", copy=True)
+    rng = resolve_rng(random_state)
+    n_rows, n_cols = x.shape
+    columns = (
+        np.arange(n_cols, dtype=np.int64)
+        if spec.columns is None
+        else np.unique(np.asarray(spec.columns, dtype=np.int64))
+    )
+    if columns.size and (columns.min() < 0 or columns.max() >= n_cols):
+        raise DegenerateDataError(
+            f"columns {columns.tolist()} out of range for {n_cols}-column data"
+        )
+    if columns.size == 0:
+        raise DegenerateDataError("no columns selected for injection")
+    grid_rows, grid_cols = _eligible_cells(n_rows, columns, spec.protect_rows)
+    n_inject = int(round(spec.missing_rate * grid_rows.size))
+    if n_inject == 0:
+        return x, ObservationMask.fully_observed(x.shape)
+    sel_rows, sel_cols = _sample_cells(grid_rows, grid_cols, n_inject, n_cols, rng)
+    observed = np.ones(x.shape, dtype=bool)
+    observed[sel_rows, sel_cols] = False
+    x[sel_rows, sel_cols] = 0.0
+    return x, ObservationMask(observed)
+
+
+def inject_errors(
+    x: np.ndarray,
+    spec: ErrorSpec,
+    *,
+    random_state: object = None,
+) -> tuple[np.ndarray, ObservationMask]:
+    """Corrupt values per the repair protocol (same-domain swaps).
+
+    Returns
+    -------
+    x_dirty, mask:
+        ``x_dirty`` carries the corrupted values; ``mask.observed`` is
+        ``False`` exactly at corrupted cells, i.e. it is the
+        detected-dirty-cell set Psi handed to repairers.
+    """
+    x = as_matrix(x, name="x", copy=True)
+    rng = resolve_rng(random_state)
+    n_rows, n_cols = x.shape
+    columns = np.arange(n_cols, dtype=np.int64)
+    grid_rows, grid_cols = _eligible_cells(n_rows, columns, spec.protect_rows)
+    n_inject = int(round(spec.error_rate * grid_rows.size))
+    if n_inject == 0:
+        return x, ObservationMask.fully_observed(x.shape)
+    sel_rows, sel_cols = _sample_cells(grid_rows, grid_cols, n_inject, n_cols, rng)
+    for row, col in zip(sel_rows, sel_cols):
+        x[row, col] = _swap_value(x[:, col], x[row, col], rng)
+    observed = np.ones(x.shape, dtype=bool)
+    observed[sel_rows, sel_cols] = False
+    return x, ObservationMask(observed)
+
+
+def _swap_value(column: np.ndarray, current: float, rng: np.random.Generator) -> float:
+    """Pick a replacement from the same column domain, differing from
+    ``current`` whenever the column has more than one distinct value."""
+    domain = np.unique(column)
+    if domain.size <= 1:
+        return float(current)
+    candidates = domain[domain != current]
+    return float(rng.choice(candidates))

@@ -1,0 +1,144 @@
+"""Observed/unobserved cell bookkeeping (Section II-A).
+
+The paper splits the cells of ``X`` into the observed set Omega and the
+unobserved set Psi, and defines the mask operator ``R_Omega`` that
+zeroes unobserved cells.  :class:`ObservationMask` wraps a boolean
+matrix (``True`` = observed) and provides:
+
+- ``project`` - the ``R_Omega`` operator,
+- ``project_complement`` - ``R_Psi``,
+- ``merge`` - the Formula 8 recovery
+  ``X_hat = R_Omega(X) + R_Psi(X_star)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..validation import as_matrix, check_mask
+
+__all__ = ["ObservationMask", "mask_from_missing_values"]
+
+
+@dataclass(frozen=True)
+class ObservationMask:
+    """Immutable boolean observation mask over an ``(n, m)`` matrix.
+
+    ``observed[i, j] is True`` means cell ``(i, j)`` belongs to Omega.
+    """
+
+    observed: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.observed)
+        if arr.ndim != 2:
+            raise ValidationError(f"mask must be 2-dimensional, got ndim={arr.ndim}")
+        if arr.size == 0:
+            raise ValidationError("mask must be non-empty")
+        arr = check_mask(arr, arr.shape, name="observed")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        object.__setattr__(self, "observed", arr)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the underlying matrix."""
+        return self.observed.shape  # type: ignore[return-value]
+
+    @property
+    def unobserved(self) -> np.ndarray:
+        """Boolean matrix of the Psi set (``True`` = unobserved)."""
+        return ~self.observed
+
+    @property
+    def n_observed(self) -> int:
+        """``|Omega|``: number of observed cells."""
+        return int(self.observed.sum())
+
+    @property
+    def n_unobserved(self) -> int:
+        """``|Psi|``: number of unobserved cells."""
+        return int(self.observed.size - self.observed.sum())
+
+    @property
+    def observed_fraction(self) -> float:
+        """Fraction of cells that are observed."""
+        return self.n_observed / self.observed.size
+
+    def indices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Row/column index arrays of the observed cells (the Omega set)."""
+        return np.nonzero(self.observed)
+
+    def unobserved_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Row/column index arrays of the unobserved cells (the Psi set)."""
+        return np.nonzero(~self.observed)
+
+    def _check_compatible(self, x: np.ndarray, name: str) -> np.ndarray:
+        x = as_matrix(x, name=name, allow_nan=True)
+        if x.shape != self.shape:
+            raise ValidationError(
+                f"{name} shape {x.shape} does not match mask shape {self.shape}"
+            )
+        return x
+
+    def project(self, x: np.ndarray) -> np.ndarray:
+        """``R_Omega(x)``: keep observed cells, zero the rest."""
+        x = self._check_compatible(x, "x")
+        out = np.where(self.observed, x, 0.0)
+        # R_Omega must output zeros, never NaN, even if the caller keeps
+        # NaN placeholders at unobserved cells.
+        return np.nan_to_num(out, nan=0.0) if np.isnan(out).any() else out
+
+    def project_complement(self, x: np.ndarray) -> np.ndarray:
+        """``R_Psi(x)``: keep unobserved cells, zero the observed ones."""
+        x = self._check_compatible(x, "x")
+        out = np.where(self.observed, 0.0, x)
+        return np.nan_to_num(out, nan=0.0) if np.isnan(out).any() else out
+
+    def merge(self, x: np.ndarray, x_star: np.ndarray) -> np.ndarray:
+        """Formula 8: ``X_hat = R_Omega(X) + R_Psi(X_star)``.
+
+        Observed cells come from ``x``; unobserved ones from the model
+        reconstruction ``x_star``.
+        """
+        x = self._check_compatible(x, "x")
+        x_star = self._check_compatible(x_star, "x_star")
+        merged = np.where(self.observed, x, x_star)
+        if np.isnan(merged).any():
+            raise ValidationError(
+                "merge produced NaN cells: x has NaN at observed cells or "
+                "x_star has NaN at unobserved cells"
+            )
+        return merged
+
+    def intersect(self, other: "ObservationMask") -> "ObservationMask":
+        """Mask observed only where both masks are observed."""
+        if self.shape != other.shape:
+            raise ValidationError(
+                f"cannot intersect masks of shapes {self.shape} and {other.shape}"
+            )
+        return ObservationMask(self.observed & other.observed)
+
+    def with_observed_rows(self) -> np.ndarray:
+        """Boolean vector of rows that are fully observed (complete tuples)."""
+        return self.observed.all(axis=1)
+
+    @classmethod
+    def fully_observed(cls, shape: tuple[int, int]) -> "ObservationMask":
+        """A mask with every cell in Omega."""
+        return cls(np.ones(shape, dtype=bool))
+
+
+def mask_from_missing_values(x: np.ndarray) -> tuple[np.ndarray, ObservationMask]:
+    """Split a NaN-encoded matrix into (zero-filled data, mask).
+
+    NaN cells become Psi; the returned matrix carries zeros there so it
+    can be fed to the masked factorizations directly.
+    """
+    x = as_matrix(x, name="x", allow_nan=True, copy=True)
+    observed = ~np.isnan(x)
+    x[~observed] = 0.0
+    return x, ObservationMask(observed)

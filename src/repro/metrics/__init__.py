@@ -1,0 +1,5 @@
+"""Evaluation metrics for imputation and repair."""
+
+from .rms import mae_over_mask, relative_error_over_mask, rms_over_mask
+
+__all__ = ["rms_over_mask", "mae_over_mask", "relative_error_over_mask"]

@@ -1,0 +1,26 @@
+"""Data repair task (Section IV-B2, Table VI).
+
+The repair protocol: errors are injected by same-domain value swaps
+(:func:`repro.masking.inject_errors`); an error-detection step marks
+the dirty cells (the paper relies on detectors like Raha and hands the
+detected set to every repairer); each repairer then replaces dirty
+values.  The MF-based repairers treat dirty cells as the Psi set of
+Formula 8.
+
+Baselines: simplified statistics-only re-implementations of HoloClean
+[36] and Baran [32] (see DESIGN.md Section 2 for the substitution
+rationale - the paper itself runs HoloClean without integrity rules).
+"""
+
+from .detection import OracleDetector, StatisticalDetector
+from .baran import BaranRepairer
+from .holoclean import HoloCleanRepairer
+from .mf_repair import MFRepairer
+
+__all__ = [
+    "OracleDetector",
+    "StatisticalDetector",
+    "BaranRepairer",
+    "HoloCleanRepairer",
+    "MFRepairer",
+]

@@ -1,0 +1,64 @@
+"""Error detection for the repair task.
+
+The paper assumes the dirty-cell set is "provided by error detection
+techniques (e.g., Raha)" and evaluates only the correction step.  Two
+detectors are provided:
+
+- :class:`OracleDetector` - returns the injected dirty-cell set
+  verbatim (the paper's evaluation setting: every repairer receives
+  the same Psi);
+- :class:`StatisticalDetector` - a simple working detector (per-column
+  robust z-score) for end-to-end use on data without ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..masking.mask import ObservationMask
+from ..validation import as_matrix, check_in_range
+
+__all__ = ["OracleDetector", "StatisticalDetector"]
+
+
+class OracleDetector:
+    """Hands back the known injected dirty-cell mask (evaluation mode)."""
+
+    def __init__(self, dirty_mask: ObservationMask) -> None:
+        # ``dirty_mask.observed`` is False exactly at dirty cells,
+        # matching the convention of repro.masking.inject_errors.
+        self._mask = dirty_mask
+
+    def detect(self, x: np.ndarray) -> ObservationMask:
+        """Return the stored mask; ``x`` is accepted for API symmetry."""
+        as_matrix(x, name="x")
+        return self._mask
+
+
+class StatisticalDetector:
+    """Robust per-column outlier detector (median / MAD z-score).
+
+    A cell is flagged dirty when its robust z-score exceeds
+    ``threshold``.  This is intentionally simple - the paper's point is
+    about the correction step, not detection - but it is a complete,
+    working detector for end-to-end pipelines.
+    """
+
+    def __init__(self, threshold: float = 3.5) -> None:
+        self.threshold = check_in_range(
+            threshold, name="threshold", low=0.0, low_inclusive=False
+        )
+
+    def detect(self, x: np.ndarray) -> ObservationMask:
+        """Return a mask whose ``observed`` is False at flagged cells."""
+        x = as_matrix(x, name="x")
+        clean = np.ones(x.shape, dtype=bool)
+        for j in range(x.shape[1]):
+            col = x[:, j]
+            median = float(np.median(col))
+            mad = float(np.median(np.abs(col - median)))
+            if mad == 0.0:
+                continue
+            z = 0.6745 * np.abs(col - median) / mad
+            clean[:, j] = z <= self.threshold
+        return ObservationMask(clean)

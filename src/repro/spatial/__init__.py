@@ -1,0 +1,32 @@
+"""Spatial substrate: distances, nearest neighbours, similarity graphs.
+
+This subpackage implements everything Section II-C of the paper needs:
+
+- pairwise distance computation (:mod:`repro.spatial.distances`),
+- a from-scratch KD-tree for nearest-neighbour queries
+  (:mod:`repro.spatial.kdtree`),
+- ``p``-nearest-neighbour search (:mod:`repro.spatial.neighbors`),
+- the symmetric p-NN similarity matrix **D** of Formula 3
+  (:mod:`repro.spatial.similarity`), and
+- the degree matrix **W** (Formula 4) and graph Laplacian **L = W - D**
+  (:mod:`repro.spatial.laplacian`).
+"""
+
+from .distances import euclidean_distances, haversine_distances, pairwise_sq_euclidean
+from .kdtree import KDTree
+from .neighbors import knn_indices
+from .laplacian import degree_matrix, graph_laplacian, laplacian_from_points
+from .similarity import knn_similarity_matrix, prepare_spatial_coordinates
+
+__all__ = [
+    "euclidean_distances",
+    "haversine_distances",
+    "pairwise_sq_euclidean",
+    "KDTree",
+    "knn_indices",
+    "knn_similarity_matrix",
+    "prepare_spatial_coordinates",
+    "degree_matrix",
+    "graph_laplacian",
+    "laplacian_from_points",
+]

@@ -1,0 +1,90 @@
+"""Pairwise distance kernels used by the spatial substrate.
+
+All functions are vectorised numpy; none of them require scipy.  The
+spatial-regularization graph of the paper (Section II-C) is built on
+Euclidean distance over the spatial-information columns ``SI``; the
+haversine metric is provided for callers that keep raw latitude /
+longitude in degrees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import as_matrix, ValidationError
+
+__all__ = [
+    "pairwise_sq_euclidean",
+    "euclidean_distances",
+    "haversine_distances",
+    "EARTH_RADIUS_KM",
+]
+
+EARTH_RADIUS_KM = 6371.0088
+"""Mean Earth radius in kilometres, used by :func:`haversine_distances`."""
+
+
+def pairwise_sq_euclidean(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """Squared Euclidean distances between the rows of ``a`` and ``b``.
+
+    Uses the expansion ``|x - y|^2 = |x|^2 + |y|^2 - 2 x.y`` which costs
+    one matrix multiply instead of a full broadcasted subtraction, and
+    clips tiny negative values caused by floating-point cancellation.
+
+    Parameters
+    ----------
+    a:
+        ``(n, d)`` array of points.
+    b:
+        ``(m, d)`` array of points; defaults to ``a`` (self-distances).
+
+    Returns
+    -------
+    ``(n, m)`` array of squared distances.
+    """
+    a = as_matrix(a, name="a")
+    b = a if b is None else as_matrix(b, name="b")
+    if a.shape[1] != b.shape[1]:
+        raise ValidationError(
+            f"dimension mismatch: a has {a.shape[1]} columns, b has {b.shape[1]}"
+        )
+    a_sq = np.einsum("ij,ij->i", a, a)
+    b_sq = np.einsum("ij,ij->i", b, b)
+    d2 = a_sq[:, None] + b_sq[None, :] - 2.0 * (a @ b.T)
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def euclidean_distances(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """Euclidean distances between the rows of ``a`` and ``b``."""
+    return np.sqrt(pairwise_sq_euclidean(a, b))
+
+
+def haversine_distances(coords_a: np.ndarray, coords_b: np.ndarray | None = None) -> np.ndarray:
+    """Great-circle distances in kilometres between (lat, lon) rows in degrees.
+
+    Parameters
+    ----------
+    coords_a:
+        ``(n, 2)`` array of ``[latitude, longitude]`` in degrees.
+    coords_b:
+        ``(m, 2)`` array, defaults to ``coords_a``.
+
+    Returns
+    -------
+    ``(n, m)`` array of distances in kilometres.
+    """
+    coords_a = as_matrix(coords_a, name="coords_a")
+    coords_b = coords_a if coords_b is None else as_matrix(coords_b, name="coords_b")
+    for name, arr in (("coords_a", coords_a), ("coords_b", coords_b)):
+        if arr.shape[1] != 2:
+            raise ValidationError(f"{name} must have exactly 2 columns (lat, lon)")
+    lat_a = np.radians(coords_a[:, 0])[:, None]
+    lon_a = np.radians(coords_a[:, 1])[:, None]
+    lat_b = np.radians(coords_b[:, 0])[None, :]
+    lon_b = np.radians(coords_b[:, 1])[None, :]
+    dlat = lat_b - lat_a
+    dlon = lon_b - lon_a
+    h = np.sin(dlat / 2.0) ** 2 + np.cos(lat_a) * np.cos(lat_b) * np.sin(dlon / 2.0) ** 2
+    np.clip(h, 0.0, 1.0, out=h)
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(h))

@@ -1,0 +1,87 @@
+"""``p``-nearest-neighbour search over spatial coordinates.
+
+The similarity matrix of Formula 3 needs, for every tuple, its ``p``
+nearest neighbours on the spatial information ``SI`` (excluding the
+tuple itself).  This module dispatches between a brute-force distance
+matrix (fast for small ``n``) and the KD-tree (sub-quadratic for large
+``n``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DegenerateDataError
+from ..validation import as_matrix, check_positive_int
+from .distances import pairwise_sq_euclidean
+from .kdtree import KDTree
+
+__all__ = ["knn_indices"]
+
+# Below this many points the O(n^2) distance matrix beats tree traversal.
+_BRUTE_FORCE_LIMIT = 2048
+
+
+def knn_indices(
+    points: np.ndarray,
+    p: int,
+    *,
+    method: str = "auto",
+) -> np.ndarray:
+    """Indices of the ``p`` nearest neighbours of each point (self excluded).
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` coordinate array.
+    p:
+        Number of neighbours per point; requires ``p < n``.
+    method:
+        ``"auto"`` (default) picks brute force below 2048 points and the
+        KD-tree above; ``"brute"`` and ``"kdtree"`` force a strategy.
+
+    Returns
+    -------
+    ``(n, p)`` integer array; row ``i`` holds the neighbour indices of
+    point ``i`` ordered by increasing distance.  Ties are broken by
+    index for determinism.
+    """
+    points = as_matrix(points, name="points")
+    p = check_positive_int(p, name="p")
+    n = points.shape[0]
+    if p >= n:
+        raise DegenerateDataError(
+            f"p={p} nearest neighbours requested but only {n} points exist "
+            "(each point needs p other points)"
+        )
+    if method not in ("auto", "brute", "kdtree"):
+        raise ValueError(f"unknown method {method!r}; use 'auto', 'brute' or 'kdtree'")
+    if method == "brute" or (method == "auto" and n <= _BRUTE_FORCE_LIMIT):
+        return _knn_brute(points, p)
+    return _knn_kdtree(points, p)
+
+
+def _knn_brute(points: np.ndarray, p: int) -> np.ndarray:
+    d2 = pairwise_sq_euclidean(points)
+    np.fill_diagonal(d2, np.inf)
+    # argsort (stable) rather than argpartition so ties break by index,
+    # keeping the neighbour graph deterministic across runs.
+    order = np.argsort(d2, axis=1, kind="stable")
+    return order[:, :p].astype(np.int64)
+
+
+def _knn_kdtree(points: np.ndarray, p: int) -> np.ndarray:
+    tree = KDTree(points)
+    # Query k=p+1 because each point finds itself at distance zero.
+    _, idx = tree.query(points, k=p + 1)
+    n = points.shape[0]
+    out = np.empty((n, p), dtype=np.int64)
+    for i in range(n):
+        row = idx[i]
+        row = row[row != i]
+        if row.size < p:
+            # Duplicate coordinates can push "self" out of the result;
+            # refill from the raw candidate list while skipping self.
+            row = np.array([j for j in idx[i] if j != i][:p], dtype=np.int64)
+        out[i] = row[:p]
+    return out

@@ -1,0 +1,167 @@
+"""The symmetric p-NN similarity matrix **D** of Formula 3.
+
+``d_ij = 1`` iff ``x_i`` is among the ``p`` nearest neighbours of
+``x_j`` *or* vice versa, computed over the spatial-information columns
+``SI``.  Section II-C also prescribes how to handle missing spatial
+cells when building the graph: initialise them with the column mean of
+the *observed* entries (this initialisation is used only for the
+similarity computation; the actual imputation happens later in the
+factorization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DegenerateDataError
+from ..validation import as_matrix, check_mask, check_positive_int
+from .neighbors import knn_indices
+
+__all__ = ["prepare_spatial_coordinates", "knn_similarity_matrix"]
+
+
+def prepare_spatial_coordinates(
+    spatial: np.ndarray,
+    observed: np.ndarray | None = None,
+) -> np.ndarray:
+    """Fill missing spatial cells with observed column means (Section II-C).
+
+    Parameters
+    ----------
+    spatial:
+        ``(n, L)`` spatial-information block; may contain NaN at
+        unobserved cells.
+    observed:
+        Optional ``(n, L)`` boolean mask of observed cells.  When
+        omitted, NaN entries are treated as unobserved.
+
+    Returns
+    -------
+    ``(n, L)`` array with every cell finite: observed values are kept,
+    unobserved ones are replaced by the mean of the observed entries of
+    the same column.
+
+    Raises
+    ------
+    DegenerateDataError:
+        If some spatial column has no observed entry at all, the graph
+        cannot be anchored and the caller must drop that column.
+    """
+    spatial = as_matrix(spatial, name="spatial", allow_nan=True, copy=True)
+    if observed is None:
+        observed_mask = ~np.isnan(spatial)
+    else:
+        observed_mask = check_mask(observed, spatial.shape, name="observed")
+        spatial[~observed_mask] = np.nan
+    for j in range(spatial.shape[1]):
+        col_observed = observed_mask[:, j]
+        if not col_observed.any():
+            raise DegenerateDataError(
+                f"spatial column {j} has no observed entries; the similarity "
+                "graph cannot be built"
+            )
+        if not col_observed.all():
+            fill = float(spatial[col_observed, j].mean())
+            spatial[~col_observed, j] = fill
+    return spatial
+
+
+def knn_similarity_matrix(
+    spatial: np.ndarray,
+    p: int,
+    *,
+    observed: np.ndarray | None = None,
+    method: str = "auto",
+    missing_strategy: str = "masked",
+) -> np.ndarray:
+    """Build the symmetric 0/1 similarity matrix **D** (Formula 3).
+
+    Parameters
+    ----------
+    spatial:
+        ``(n, L)`` spatial coordinates, possibly with NaNs at missing
+        cells.
+    p:
+        Number of nearest neighbours.
+    observed:
+        Optional boolean mask of observed spatial cells.
+    method:
+        Neighbour-search strategy, forwarded to
+        :func:`repro.spatial.neighbors.knn_indices`.
+    missing_strategy:
+        How rows with missing spatial cells enter the neighbour search:
+        ``"masked"`` (default) measures the mean squared difference
+        over the dimensions observed in *both* rows, so a partially
+        observed row is matched on its real coordinates only;
+        ``"column-mean"`` reproduces Section II-C literally by
+        initialising missing cells with the observed column mean
+        before a plain Euclidean search.
+
+    Returns
+    -------
+    ``(n, n)`` symmetric float array with zero diagonal and
+    ``d_ij in {0, 1}``.
+    """
+    p = check_positive_int(p, name="p")
+    if missing_strategy not in ("masked", "column-mean"):
+        raise ValueError(
+            f"unknown missing_strategy {missing_strategy!r}; "
+            "use 'masked' or 'column-mean'"
+        )
+    if missing_strategy == "masked":
+        neighbors = _masked_knn_indices(spatial, p, observed)
+    else:
+        coords = prepare_spatial_coordinates(spatial, observed)
+        neighbors = knn_indices(coords, p, method=method)
+    n = neighbors.shape[0]
+    similarity = np.zeros((n, n))
+    rows = np.repeat(np.arange(n), p)
+    cols = neighbors.ravel()
+    similarity[rows, cols] = 1.0
+    # Symmetrise: d_ij = 1 if either direction holds (the "or" in Formula 3).
+    np.maximum(similarity, similarity.T, out=similarity)
+    np.fill_diagonal(similarity, 0.0)
+    return similarity
+
+
+def _masked_knn_indices(
+    spatial: np.ndarray,
+    p: int,
+    observed: np.ndarray | None,
+) -> np.ndarray:
+    """p-NN indices under per-dimension masked RMS distance.
+
+    Rows sharing no observed dimension get infinite mutual distance and
+    fall back to the global ordering (they still receive p neighbours,
+    chosen among the finite-distance candidates first).
+    """
+    spatial = as_matrix(spatial, name="spatial", allow_nan=True, copy=True)
+    if observed is None:
+        obs = ~np.isnan(spatial)
+    else:
+        obs = check_mask(observed, spatial.shape, name="observed")
+    n = spatial.shape[0]
+    if p >= n:
+        raise DegenerateDataError(
+            f"p={p} nearest neighbours requested but only {n} points exist"
+        )
+    for j in range(spatial.shape[1]):
+        if not obs[:, j].any():
+            raise DegenerateDataError(
+                f"spatial column {j} has no observed entries; the similarity "
+                "graph cannot be built"
+            )
+    x = np.where(obs, spatial, 0.0)
+    weights = obs.astype(np.float64)
+    cross = (x * weights) @ (x * weights).T
+    sq = (x**2 * weights) @ weights.T
+    common = weights @ weights.T
+    d2 = sq + sq.T - 2.0 * cross
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean_d2 = np.where(common > 0, d2 / np.maximum(common, 1.0), np.inf)
+    np.maximum(mean_d2, 0.0, out=mean_d2)
+    np.fill_diagonal(mean_d2, np.inf)
+    # Rows with no common dims anywhere still need p neighbours: replace
+    # all-inf rows by the (finite) global average distance ordering.
+    order = np.argsort(mean_d2, axis=1, kind="stable")
+    return order[:, :p].astype(np.int64)

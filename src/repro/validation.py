@@ -1,0 +1,200 @@
+"""Input validation helpers shared across the library.
+
+These helpers normalise user input into well-formed numpy arrays and
+raise :class:`~repro.exceptions.ValidationError` with actionable
+messages when the input cannot be used.  All public entry points of the
+library validate through this module so that error behaviour is
+uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+__all__ = [
+    "as_matrix",
+    "as_vector",
+    "check_finite",
+    "check_nonnegative",
+    "check_mask",
+    "check_in_range",
+    "check_positive_int",
+    "check_rank",
+    "check_spatial_columns",
+    "resolve_rng",
+]
+
+
+def as_matrix(
+    x: object,
+    *,
+    name: str = "X",
+    dtype: type = np.float64,
+    allow_nan: bool = False,
+    copy: bool = False,
+) -> np.ndarray:
+    """Coerce ``x`` into a 2-D float matrix.
+
+    Parameters
+    ----------
+    x:
+        Anything ``np.asarray`` accepts.
+    name:
+        Name used in error messages.
+    dtype:
+        Target dtype, default ``float64``.
+    allow_nan:
+        If ``False`` (default) NaN or infinite entries raise
+        :class:`ValidationError`.  If ``True``, NaNs are allowed (they
+        typically encode missing cells) but infinities still raise.
+    copy:
+        Force a copy even when ``x`` is already a conforming array.
+    """
+    try:
+        arr = np.array(x, dtype=dtype, copy=copy) if copy else np.asarray(x, dtype=dtype)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} is not convertible to a float array: {exc}") from exc
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty, got shape {arr.shape}")
+    if allow_nan:
+        if np.isinf(arr).any():
+            raise ValidationError(f"{name} contains infinite values")
+    else:
+        check_finite(arr, name=name)
+    return arr
+
+
+def as_vector(
+    x: object,
+    *,
+    name: str = "x",
+    dtype: type = np.float64,
+) -> np.ndarray:
+    """Coerce ``x`` into a finite 1-D float vector."""
+    try:
+        arr = np.asarray(x, dtype=dtype)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} is not convertible to a float array: {exc}") from exc
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    check_finite(arr, name=name)
+    return arr
+
+
+def check_finite(arr: np.ndarray, *, name: str = "array") -> None:
+    """Raise :class:`ValidationError` if ``arr`` has NaN or inf entries."""
+    if not np.isfinite(arr).all():
+        bad = int(np.size(arr) - np.isfinite(arr).sum())
+        raise ValidationError(f"{name} contains {bad} non-finite (NaN/inf) entries")
+
+
+def check_nonnegative(arr: np.ndarray, *, name: str = "array") -> None:
+    """Raise :class:`ValidationError` if ``arr`` has entries below zero."""
+    finite = arr[np.isfinite(arr)]
+    if finite.size and float(finite.min()) < 0.0:
+        raise ValidationError(
+            f"{name} must be non-negative (NMF-family models require it); "
+            f"min entry is {finite.min():.6g}. Rescale the data, e.g. with "
+            "repro.data.preprocessing.minmax_normalize."
+        )
+
+
+def check_mask(mask: object, shape: tuple[int, int], *, name: str = "mask") -> np.ndarray:
+    """Validate a boolean observation mask against an expected shape.
+
+    Returns the mask as a boolean array.  ``True`` marks observed cells.
+    """
+    arr = np.asarray(mask)
+    if arr.dtype != np.bool_:
+        if not np.isin(arr, (0, 1)).all():
+            raise ValidationError(f"{name} must be boolean or 0/1 valued")
+        arr = arr.astype(bool)
+    if arr.shape != tuple(shape):
+        raise ValidationError(f"{name} shape {arr.shape} does not match data shape {tuple(shape)}")
+    return arr
+
+
+def check_in_range(
+    value: float,
+    *,
+    name: str,
+    low: float | None = None,
+    high: float | None = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Validate a scalar hyper-parameter against an interval."""
+    try:
+        val = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
+    if not np.isfinite(val):
+        raise ValidationError(f"{name} must be finite, got {val!r}")
+    if low is not None:
+        if low_inclusive and val < low:
+            raise ValidationError(f"{name} must be >= {low}, got {val}")
+        if not low_inclusive and val <= low:
+            raise ValidationError(f"{name} must be > {low}, got {val}")
+    if high is not None:
+        if high_inclusive and val > high:
+            raise ValidationError(f"{name} must be <= {high}, got {val}")
+        if not high_inclusive and val >= high:
+            raise ValidationError(f"{name} must be < {high}, got {val}")
+    return val
+
+
+def check_positive_int(value: object, *, name: str, minimum: int = 1) -> int:
+    """Validate an integer hyper-parameter (e.g. rank, neighbour count)."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    val = int(value)
+    if val < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {val}")
+    return val
+
+
+def check_rank(rank: object, n_rows: int, n_cols: int, *, name: str = "rank") -> int:
+    """Validate a factorization rank ``K`` against the matrix shape.
+
+    The paper requires ``K < min(N, M)``; we allow ``K <= min(N, M)``
+    since equality is still a well-defined factorization, but reject
+    anything larger.
+    """
+    val = check_positive_int(rank, name=name)
+    limit = min(n_rows, n_cols)
+    if val > limit:
+        raise ValidationError(
+            f"{name}={val} exceeds min(n_rows, n_cols)={limit}; "
+            "a low-rank factorization needs K <= min(N, M)"
+        )
+    return val
+
+
+def check_spatial_columns(n_spatial: object, n_cols: int) -> int:
+    """Validate the spatial-column count ``L`` (first L columns of X)."""
+    val = check_positive_int(n_spatial, name="n_spatial")
+    if val >= n_cols:
+        raise ValidationError(
+            f"n_spatial={val} must leave at least one non-spatial column "
+            f"(matrix has {n_cols} columns)"
+        )
+    return val
+
+
+def resolve_rng(seed: object) -> np.random.Generator:
+    """Turn ``seed`` (None, int, or Generator) into a ``np.random.Generator``."""
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    raise ValidationError(
+        f"random_state must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )

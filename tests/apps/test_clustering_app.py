@@ -1,0 +1,73 @@
+"""Unit tests for the clustering-with-missing-values application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import cluster_with_missing_values, clustering_application_accuracy
+from repro.baselines import MeanImputer
+from repro.core import SMFL
+from repro.exceptions import ValidationError
+from repro.masking import MissingSpec, inject_missing
+
+
+@pytest.fixture
+def labelled_problem(tiny_dataset):
+    x_missing, mask = inject_missing(
+        tiny_dataset.values,
+        MissingSpec(missing_rate=0.1, columns=tiny_dataset.attribute_columns),
+        random_state=0,
+    )
+    return tiny_dataset, x_missing, mask
+
+
+class TestClusterWithMissingValues:
+    def test_kmeans_path(self, labelled_problem):
+        dataset, x_missing, mask = labelled_problem
+        labels = cluster_with_missing_values(
+            MeanImputer(), x_missing, mask, 4, random_state=0
+        )
+        assert labels.shape == (dataset.n_rows,)
+        assert set(np.unique(labels)) <= set(range(4))
+
+    def test_pca_path(self, labelled_problem):
+        _, x_missing, mask = labelled_problem
+        labels = cluster_with_missing_values(
+            MeanImputer(), x_missing, mask, 3, pca_components=2, random_state=0
+        )
+        assert np.unique(labels).size <= 3
+
+    def test_coefficient_path(self, labelled_problem):
+        dataset, x_missing, mask = labelled_problem
+        model = SMFL(rank=5, n_spatial=2, random_state=0, max_iter=60)
+        labels = cluster_with_missing_values(
+            model, x_missing, mask, 4, use_coefficients=True, random_state=0
+        )
+        assert labels.shape == (dataset.n_rows,)
+
+    def test_coefficient_path_requires_mf_model(self, labelled_problem):
+        _, x_missing, mask = labelled_problem
+        with pytest.raises(ValidationError, match="coefficient"):
+            cluster_with_missing_values(
+                MeanImputer(), x_missing, mask, 3, use_coefficients=True
+            )
+
+
+class TestClusteringApplicationAccuracy:
+    def test_accuracy_in_unit_interval(self, labelled_problem):
+        dataset, x_missing, mask = labelled_problem
+        accuracy = clustering_application_accuracy(
+            MeanImputer(), x_missing, mask, dataset.labels, random_state=0
+        )
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_smfl_beats_chance(self, labelled_problem):
+        dataset, x_missing, mask = labelled_problem
+        model = SMFL(rank=5, n_spatial=2, random_state=0)
+        accuracy = clustering_application_accuracy(
+            model, x_missing, mask, dataset.labels,
+            use_coefficients=True, random_state=0,
+        )
+        n_classes = np.unique(dataset.labels).size
+        assert accuracy > 1.5 / n_classes

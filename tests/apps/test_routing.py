@@ -1,0 +1,99 @@
+"""Unit tests for the vehicle route-planning application (Figure 4a)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    Route,
+    generate_routes,
+    route_fuel_consumption,
+    route_planning_error,
+)
+from repro.exceptions import ValidationError
+
+
+class TestRoute:
+    def test_requires_two_waypoints(self):
+        with pytest.raises(ValidationError, match="two waypoints"):
+            Route(waypoints=(3,))
+
+    def test_coerces_ints(self):
+        route = Route(waypoints=(np.int64(1), np.int64(2)))
+        assert route.waypoints == (1, 2)
+
+
+class TestGenerateRoutes:
+    def test_counts_and_lengths(self, rng):
+        locations = rng.random((50, 2))
+        routes = generate_routes(locations, 5, route_length=6, random_state=0)
+        assert len(routes) == 5
+        for route in routes:
+            assert len(route.waypoints) == 6
+
+    def test_no_repeated_waypoints(self, rng):
+        locations = rng.random((50, 2))
+        routes = generate_routes(locations, 5, route_length=8, random_state=1)
+        for route in routes:
+            assert len(set(route.waypoints)) == len(route.waypoints)
+
+    def test_hops_are_local(self, rng):
+        locations = rng.random((100, 2))
+        routes = generate_routes(locations, 3, route_length=5, random_state=0)
+        all_dists = np.linalg.norm(
+            locations[:, None] - locations[None], axis=2
+        )
+        typical = np.median(all_dists)
+        for route in routes:
+            for a, b in zip(route.waypoints, route.waypoints[1:]):
+                assert all_dists[a, b] < typical
+
+    def test_route_longer_than_data_rejected(self, rng):
+        with pytest.raises(ValidationError, match="exceeds"):
+            generate_routes(rng.random((4, 2)), 1, route_length=5)
+
+    def test_deterministic(self, rng):
+        locations = rng.random((30, 2))
+        a = generate_routes(locations, 4, random_state=3)
+        b = generate_routes(locations, 4, random_state=3)
+        assert [r.waypoints for r in a] == [r.waypoints for r in b]
+
+
+class TestRouteFuelConsumption:
+    def test_trapezoid_on_one_leg(self):
+        locations = np.array([[0.0, 0.0], [3.0, 4.0]])
+        rates = np.array([2.0, 4.0])
+        consumption = route_fuel_consumption(Route((0, 1)), locations, rates)
+        assert consumption == pytest.approx(0.5 * (2 + 4) * 5.0)
+
+    def test_additive_over_legs(self):
+        locations = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        rates = np.array([1.0, 1.0, 1.0])
+        consumption = route_fuel_consumption(Route((0, 1, 2)), locations, rates)
+        assert consumption == pytest.approx(2.0)
+
+    def test_rate_vector_validated(self):
+        locations = np.array([[0.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(ValidationError, match="aligned"):
+            route_fuel_consumption(Route((0, 1)), locations, np.array([1.0]))
+
+
+class TestRoutePlanningError:
+    def test_zero_for_perfect_imputation(self, rng):
+        locations = rng.random((20, 2))
+        rates = rng.random(20)
+        routes = generate_routes(locations, 4, route_length=5, random_state=0)
+        assert route_planning_error(routes, locations, rates, rates) == 0.0
+
+    def test_scales_with_rate_error(self, rng):
+        locations = rng.random((20, 2))
+        rates = rng.random(20)
+        routes = generate_routes(locations, 4, route_length=5, random_state=0)
+        small = route_planning_error(routes, locations, rates, rates + 0.01)
+        large = route_planning_error(routes, locations, rates, rates + 0.1)
+        assert large > small
+
+    def test_empty_routes_rejected(self, rng):
+        with pytest.raises(ValidationError, match="non-empty"):
+            route_planning_error([], rng.random((5, 2)), np.ones(5), np.ones(5))

@@ -1,0 +1,163 @@
+"""Unit tests for the imputer protocol and neighbour utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import Imputer, column_mean_fill
+from repro.baselines.neighbors_util import (
+    complete_row_donors,
+    incomplete_row_distances,
+    neighbors_with_value,
+)
+from repro.exceptions import ValidationError
+from repro.masking import ObservationMask
+
+
+class _ConstantImputer(Imputer):
+    name = "constant"
+
+    def _impute_missing(self, x_observed, mask):
+        return np.full(x_observed.shape, 0.5)
+
+
+class _BadShapeImputer(Imputer):
+    name = "bad"
+
+    def _impute_missing(self, x_observed, mask):
+        return np.zeros((1, 1))
+
+
+class TestImputerProtocol:
+    def test_observed_cells_pass_through(self, rng):
+        x = rng.random((6, 4))
+        observed = rng.random((6, 4)) > 0.3
+        mask = ObservationMask(observed)
+        out = _ConstantImputer().fit_impute(np.where(observed, x, 0.0), mask)
+        assert np.allclose(out[observed], x[observed])
+        assert np.allclose(out[~observed], 0.5)
+
+    def test_no_missing_shortcut(self, rng):
+        x = rng.random((4, 3))
+        out = _ConstantImputer().fit_impute(x, ObservationMask.fully_observed(x.shape))
+        assert np.allclose(out, x)
+
+    def test_nan_input_builds_mask(self):
+        x = np.array([[1.0, np.nan], [2.0, 3.0]])
+        out = _ConstantImputer().fit_impute(x)
+        assert out[0, 1] == 0.5
+        assert out[0, 0] == 1.0
+
+    def test_shape_mismatch_raises(self, rng):
+        x = rng.random((4, 3))
+        x[0, 0] = np.nan
+        with pytest.raises(ValidationError, match="returned shape"):
+            _BadShapeImputer().fit_impute(x)
+
+    def test_mask_shape_checked(self, rng):
+        x = rng.random((4, 3))
+        with pytest.raises(ValidationError, match="does not match"):
+            _ConstantImputer().fit_impute(x, np.ones((2, 2), dtype=bool))
+
+
+class TestColumnMeanFill:
+    def test_fills_with_column_means(self):
+        x = np.array([[1.0, 0.0], [3.0, 0.0], [0.0, 5.0]])
+        observed = np.array([[True, False], [True, False], [False, True]])
+        out = column_mean_fill(x, observed)
+        assert out[2, 0] == pytest.approx(2.0)
+        assert out[0, 1] == pytest.approx(5.0)
+
+    def test_empty_column_falls_back_to_global_mean(self):
+        x = np.array([[2.0, 0.0], [4.0, 0.0]])
+        observed = np.array([[True, False], [True, False]])
+        out = column_mean_fill(x, observed)
+        assert out[0, 1] == pytest.approx(3.0)
+
+    def test_nothing_observed(self):
+        x = np.zeros((2, 2))
+        observed = np.zeros((2, 2), dtype=bool)
+        out = column_mean_fill(x, observed)
+        assert np.allclose(out, 0.0)
+
+
+class TestIncompleteRowDistances:
+    def test_complete_rows_match_rms_distance(self, rng):
+        x = rng.random((5, 4))
+        observed = np.ones((5, 4), dtype=bool)
+        out = incomplete_row_distances(x, observed)
+        expected = np.sqrt(((x[0] - x[1]) ** 2).mean())
+        assert out[0, 1] == pytest.approx(expected)
+
+    def test_diagonal_infinite(self, rng):
+        x = rng.random((4, 3))
+        out = incomplete_row_distances(x, np.ones((4, 3), dtype=bool))
+        assert np.isinf(np.diag(out)).all()
+
+    def test_no_common_dims_is_infinite(self):
+        x = np.array([[1.0, 0.0], [0.0, 1.0]])
+        observed = np.array([[True, False], [False, True]])
+        out = incomplete_row_distances(x, observed)
+        assert np.isinf(out[0, 1])
+
+    def test_only_common_dims_counted(self):
+        x = np.array([[1.0, 9.0, 2.0], [1.0, 0.0, 4.0]])
+        observed = np.array([[True, True, True], [True, False, True]])
+        out = incomplete_row_distances(x, observed)
+        # Common dims: 0 and 2 -> rms of (0, 2) differences.
+        assert out[0, 1] == pytest.approx(np.sqrt((0.0 + 4.0) / 2))
+
+    def test_feature_columns_subset(self, rng):
+        x = rng.random((6, 4))
+        observed = np.ones((6, 4), dtype=bool)
+        sub = incomplete_row_distances(
+            x, observed, feature_columns=np.array([0, 1])
+        )
+        expected = incomplete_row_distances(x[:, :2], observed[:, :2])
+        assert np.allclose(sub, expected)
+
+    def test_symmetry(self, rng):
+        x = rng.random((8, 5))
+        observed = rng.random((8, 5)) > 0.3
+        out = incomplete_row_distances(np.where(observed, x, 0.0), observed)
+        assert np.allclose(out, out.T)
+
+
+class TestNeighborsWithValue:
+    def test_orders_by_distance(self):
+        distances = np.array([np.inf, 0.3, 0.1, 0.2])
+        column_observed = np.array([True, True, True, True])
+        out = neighbors_with_value(distances, column_observed, 2)
+        assert out.tolist() == [2, 3]
+
+    def test_skips_rows_without_value(self):
+        distances = np.array([np.inf, 0.1, 0.2])
+        column_observed = np.array([True, False, True])
+        out = neighbors_with_value(distances, column_observed, 2)
+        assert out.tolist() == [2]
+
+    def test_donor_restriction_applied(self):
+        distances = np.array([np.inf, 0.1, 0.2, 0.3])
+        column_observed = np.ones(4, dtype=bool)
+        donors = np.array([False, False, True, True])
+        out = neighbors_with_value(distances, column_observed, 2, donors=donors)
+        assert out.tolist() == [2, 3]
+
+    def test_donor_restriction_relaxed_when_empty(self):
+        distances = np.array([np.inf, 0.1, 0.2])
+        column_observed = np.ones(3, dtype=bool)
+        donors = np.zeros(3, dtype=bool)
+        out = neighbors_with_value(distances, column_observed, 2, donors=donors)
+        assert out.tolist() == [1, 2]
+
+    def test_empty_when_no_candidates(self):
+        distances = np.array([np.inf, np.inf])
+        out = neighbors_with_value(distances, np.array([True, True]), 3)
+        assert out.size == 0
+
+
+class TestCompleteRowDonors:
+    def test_identifies_complete_rows(self):
+        observed = np.array([[True, True], [True, False]])
+        assert complete_row_donors(observed).tolist() == [True, False]

@@ -1,0 +1,80 @@
+"""Unit tests for the ridge-regression substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.linear import RidgeRegression, fit_weighted_ridge
+from repro.exceptions import ValidationError
+
+
+class TestFitWeightedRidge:
+    def test_recovers_exact_linear_model(self, rng):
+        features = rng.random((50, 3))
+        true_coef = np.array([2.0, -1.0, 0.5])
+        targets = features @ true_coef + 3.0
+        coef, intercept = fit_weighted_ridge(features, targets, alpha=1e-10)
+        assert np.allclose(coef, true_coef, atol=1e-6)
+        assert intercept == pytest.approx(3.0, abs=1e-6)
+
+    def test_alpha_shrinks_coefficients(self, rng):
+        features = rng.random((30, 2))
+        targets = features @ np.array([5.0, 5.0])
+        coef_small, _ = fit_weighted_ridge(features, targets, alpha=1e-8)
+        coef_big, _ = fit_weighted_ridge(features, targets, alpha=100.0)
+        assert np.linalg.norm(coef_big) < np.linalg.norm(coef_small)
+
+    def test_weights_focus_fit(self, rng):
+        # Two populations with different slopes; weighting one to zero
+        # recovers the other's slope.
+        features = np.vstack([rng.random((20, 1)), rng.random((20, 1))])
+        targets = np.concatenate([
+            features[:20, 0] * 1.0,
+            features[20:, 0] * 10.0,
+        ])
+        weights = np.concatenate([np.ones(20), np.zeros(20)])
+        coef, _ = fit_weighted_ridge(
+            features, targets, alpha=1e-10, sample_weight=weights
+        )
+        assert coef[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_singular_system_falls_back(self):
+        # Duplicate columns with alpha=0 -> singular normal equations.
+        features = np.column_stack([np.arange(5.0), np.arange(5.0)])
+        targets = np.arange(5.0)
+        coef, intercept = fit_weighted_ridge(features, targets, alpha=0.0)
+        predictions = features @ coef + intercept
+        assert np.allclose(predictions, targets, atol=1e-8)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            fit_weighted_ridge(np.arange(3.0), np.arange(3.0))
+        with pytest.raises(ValidationError, match="does not match"):
+            fit_weighted_ridge(rng.random((3, 2)), np.arange(4.0))
+        with pytest.raises(ValidationError, match="non-negative"):
+            fit_weighted_ridge(
+                rng.random((3, 2)), np.arange(3.0),
+                sample_weight=np.array([1.0, -1.0, 1.0]),
+            )
+        with pytest.raises(ValidationError, match="zero"):
+            fit_weighted_ridge(
+                rng.random((3, 2)), np.arange(3.0),
+                sample_weight=np.zeros(3),
+            )
+
+
+class TestRidgeRegression:
+    def test_fit_predict(self, rng):
+        features = rng.random((40, 2))
+        targets = features @ np.array([1.5, -2.0]) + 0.5
+        model = RidgeRegression(alpha=1e-10).fit(features, targets)
+        assert np.allclose(model.predict(features), targets, atol=1e-6)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ValidationError, match="before fit"):
+            RidgeRegression().predict(np.zeros((2, 2)))
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValidationError):
+            RidgeRegression(alpha=-1.0)

@@ -1,0 +1,122 @@
+"""Unit tests for MC (SVT), SoftImpute and IterativeImputer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    IterativeImputer,
+    MatrixCompletionImputer,
+    MeanImputer,
+    SoftImputeImputer,
+)
+from repro.baselines.mc import svd_shrink
+from repro.masking import MissingSpec, ObservationMask, inject_missing
+from repro.metrics import rms_over_mask
+
+
+@pytest.fixture
+def low_rank_problem(rng):
+    """An exactly rank-2 matrix with 20% of entries hidden."""
+    u = rng.random((40, 2))
+    v = rng.random((2, 8))
+    x = u @ v
+    observed = rng.random((40, 8)) > 0.2
+    x_missing = np.where(observed, x, 0.0)
+    return x, x_missing, ObservationMask(observed)
+
+
+class TestSvdShrink:
+    def test_shrinks_singular_values(self, rng):
+        x = rng.random((10, 6))
+        s = np.linalg.svd(x, compute_uv=False)
+        out, rank = svd_shrink(x, s[2] + 1e-9)
+        s_out = np.linalg.svd(out, compute_uv=False)
+        assert rank == 2
+        assert s_out[0] == pytest.approx(s[0] - s[2])
+
+    def test_large_tau_gives_zero(self, rng):
+        x = rng.random((5, 5))
+        out, rank = svd_shrink(x, 1e6)
+        assert rank == 0
+        assert np.allclose(out, 0.0)
+
+
+class TestMatrixCompletion:
+    def test_recovers_low_rank(self, low_rank_problem):
+        x, x_missing, mask = low_rank_problem
+        out = MatrixCompletionImputer(max_iter=500).fit_impute(x_missing, mask)
+        assert rms_over_mask(out, x, mask) < 0.15
+
+    def test_observed_preserved(self, low_rank_problem):
+        _, x_missing, mask = low_rank_problem
+        out = MatrixCompletionImputer().fit_impute(x_missing, mask)
+        assert np.allclose(out[mask.observed], x_missing[mask.observed])
+
+    def test_custom_tau_delta(self, low_rank_problem):
+        _, x_missing, mask = low_rank_problem
+        out = MatrixCompletionImputer(tau=1.0, delta=1.0).fit_impute(x_missing, mask)
+        assert np.isfinite(out).all()
+
+    def test_invalid_params(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            MatrixCompletionImputer(tau=-1.0)
+        with pytest.raises(ValidationError):
+            MatrixCompletionImputer(delta=0.0)
+
+
+class TestSoftImpute:
+    def test_recovers_low_rank(self, low_rank_problem):
+        x, x_missing, mask = low_rank_problem
+        out = SoftImputeImputer().fit_impute(x_missing, mask)
+        assert rms_over_mask(out, x, mask) < 0.1
+
+    def test_stronger_shrinkage_lowers_rank(self, low_rank_problem):
+        _, x_missing, mask = low_rank_problem
+        weak = SoftImputeImputer(shrinkage=1e-4).fit_impute(x_missing, mask)
+        strong = SoftImputeImputer(shrinkage=5.0).fit_impute(x_missing, mask)
+        rank_weak = np.linalg.matrix_rank(weak, tol=1e-6)
+        rank_strong = np.linalg.matrix_rank(strong, tol=1e-6)
+        assert rank_strong <= rank_weak
+
+    def test_invalid_shrinkage(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            SoftImputeImputer(shrinkage=0.0)
+
+
+class TestIterativeImputer:
+    def test_recovers_linear_structure(self, rng):
+        # Column 3 is an exact linear function of the others.
+        base = rng.random((60, 3))
+        target = base @ np.array([1.0, -0.5, 2.0]) + 0.3
+        x = np.column_stack([base, target])
+        observed = np.ones((60, 4), dtype=bool)
+        observed[rng.choice(60, size=10, replace=False), 3] = False
+        x_missing = np.where(observed, x, 0.0)
+        out = IterativeImputer().fit_impute(x_missing, ObservationMask(observed))
+        assert rms_over_mask(out, x, ObservationMask(observed)) < 1e-3
+
+    def test_beats_mean_on_correlated_data(self, low_rank_problem):
+        x, x_missing, mask = low_rank_problem
+        out = IterativeImputer().fit_impute(x_missing, mask)
+        mean_out = MeanImputer().fit_impute(x_missing, mask)
+        assert rms_over_mask(out, x, mask) < rms_over_mask(mean_out, x, mask)
+
+    def test_converges_with_tight_tol(self, low_rank_problem):
+        _, x_missing, mask = low_rank_problem
+        out = IterativeImputer(max_rounds=50, tol=1e-10).fit_impute(x_missing, mask)
+        assert np.isfinite(out).all()
+
+    def test_fully_missing_column_mean_fallback(self, rng):
+        x = rng.random((10, 3))
+        observed = np.ones((10, 3), dtype=bool)
+        observed[:, 2] = False
+        observed[0, 2] = True  # single observation anchors the column
+        x_missing = np.where(observed, x, 0.0)
+        out = IterativeImputer().fit_impute(x_missing, ObservationMask(observed))
+        assert np.isfinite(out).all()

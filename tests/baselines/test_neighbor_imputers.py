@@ -1,0 +1,118 @@
+"""Unit tests for the neighbour/regression-family imputers
+(kNN, kNNE, LOESS, IIM, DLM)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DLMImputer,
+    IIMImputer,
+    KNNEnsembleImputer,
+    KNNImputer,
+    LoessImputer,
+    MeanImputer,
+)
+from repro.masking import MissingSpec, ObservationMask, inject_missing
+from repro.metrics import rms_over_mask
+
+ALL_NEIGHBOR_IMPUTERS = [
+    KNNImputer,
+    KNNEnsembleImputer,
+    LoessImputer,
+    IIMImputer,
+    DLMImputer,
+]
+
+
+@pytest.fixture
+def smooth_problem(rng):
+    """Attributes that are smooth functions of two coordinates."""
+    n = 120
+    coords = rng.random((n, 2))
+    a = np.sin(3 * coords[:, 0]) + coords[:, 1]
+    b = coords[:, 0] * 2 + np.cos(2 * coords[:, 1])
+    c = 0.5 * a + 0.5 * b
+    x = np.column_stack([coords, a, b, c])
+    x = (x - x.min(axis=0)) / (x.max(axis=0) - x.min(axis=0))
+    x_missing, mask = inject_missing(
+        x, MissingSpec(missing_rate=0.15, columns=(2, 3, 4)), random_state=0
+    )
+    return x, x_missing, mask
+
+
+@pytest.mark.parametrize("imputer_cls", ALL_NEIGHBOR_IMPUTERS)
+class TestCommonBehaviour:
+    def test_fills_all_cells(self, smooth_problem, imputer_cls):
+        _, x_missing, mask = smooth_problem
+        out = imputer_cls().fit_impute(x_missing, mask)
+        assert np.isfinite(out).all()
+
+    def test_observed_cells_unchanged(self, smooth_problem, imputer_cls):
+        _, x_missing, mask = smooth_problem
+        out = imputer_cls().fit_impute(x_missing, mask)
+        assert np.allclose(out[mask.observed], x_missing[mask.observed])
+
+    def test_beats_mean_on_smooth_data(self, smooth_problem, imputer_cls):
+        x, x_missing, mask = smooth_problem
+        out = imputer_cls().fit_impute(x_missing, mask)
+        mean_out = MeanImputer().fit_impute(x_missing, mask)
+        assert rms_over_mask(out, x, mask) < rms_over_mask(mean_out, x, mask)
+
+
+class TestKNNSpecifics:
+    def test_weighted_vs_unweighted_differ(self, smooth_problem):
+        _, x_missing, mask = smooth_problem
+        a = KNNImputer(k=5, weighted=True).fit_impute(x_missing, mask)
+        b = KNNImputer(k=5, weighted=False).fit_impute(x_missing, mask)
+        assert not np.allclose(a, b)
+
+    def test_k_one_copies_nearest_donor(self):
+        x = np.array([
+            [0.0, 0.0, 0.3],
+            [0.01, 0.0, 0.4],
+            [1.0, 1.0, 0.9],
+        ])
+        observed = np.ones((3, 3), dtype=bool)
+        observed[0, 2] = False
+        x_missing = np.where(observed, x, 0.0)
+        out = KNNImputer(k=1).fit_impute(x_missing, ObservationMask(observed))
+        assert out[0, 2] == pytest.approx(0.4)
+
+    def test_exact_neighbour_value_recovered(self, rng):
+        # A missing cell surrounded by identical donors gets their value.
+        x = np.tile(np.array([[0.5, 0.5, 0.7]]), (10, 1))
+        observed = np.ones((10, 3), dtype=bool)
+        observed[0, 2] = False
+        out = KNNImputer(k=3).fit_impute(
+            np.where(observed, x, 0.0), ObservationMask(observed)
+        )
+        assert out[0, 2] == pytest.approx(0.7)
+
+
+class TestKNNESpecifics:
+    def test_member_cap_respected(self, smooth_problem):
+        _, x_missing, mask = smooth_problem
+        out = KNNEnsembleImputer(max_members=2).fit_impute(x_missing, mask)
+        assert np.isfinite(out).all()
+
+
+class TestDLMSpecifics:
+    def test_more_rounds_changes_result(self, smooth_problem):
+        _, x_missing, mask = smooth_problem
+        one = DLMImputer(n_rounds=1).fit_impute(x_missing, mask)
+        three = DLMImputer(n_rounds=3).fit_impute(x_missing, mask)
+        assert not np.allclose(one, three)
+
+
+class TestIIMInstability:
+    def test_tiny_neighbourhoods_can_extrapolate(self, rng):
+        # IIM with near-OLS local models on few samples is the paper's
+        # unstable baseline; verify it still produces finite output.
+        x = rng.random((40, 5))
+        x_missing, mask = inject_missing(
+            x, MissingSpec(missing_rate=0.2, columns=(2, 3, 4)), random_state=0
+        )
+        out = IIMImputer(ell=3, model_size=5).fit_impute(x_missing, mask)
+        assert np.isfinite(out).all()

@@ -1,0 +1,89 @@
+"""Unit tests for the PCA model and the imputer registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import IMPUTER_NAMES, PCAModel, make_imputer
+from repro.core import SMF, SMFL, MaskedNMF
+from repro.exceptions import NotFittedError, ValidationError
+from repro.masking import MissingSpec, inject_missing
+
+
+class TestPCAModel:
+    def test_reconstruction_with_full_rank(self, rng):
+        x = rng.random((20, 4))
+        pca = PCAModel(4).fit(x)
+        recon = pca.inverse_transform(pca.transform(x))
+        assert np.allclose(recon, x, atol=1e-10)
+
+    def test_components_orthonormal(self, rng):
+        x = rng.random((30, 5))
+        pca = PCAModel(3).fit(x)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_explained_variance_sorted(self, rng):
+        x = rng.random((30, 5))
+        pca = PCAModel(4).fit(x)
+        assert (np.diff(pca.explained_variance_) <= 1e-12).all()
+
+    def test_captures_dominant_direction(self, rng):
+        direction = np.array([1.0, 1.0]) / np.sqrt(2)
+        x = rng.normal(size=(100, 1)) * 5 * direction + rng.normal(
+            size=(100, 2)
+        ) * 0.01
+        pca = PCAModel(1).fit(x)
+        assert abs(pca.components_[0] @ direction) == pytest.approx(1.0, abs=0.01)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            PCAModel(2).transform(np.zeros((3, 3)))
+
+    def test_too_many_components(self, rng):
+        with pytest.raises(NotFittedError):
+            PCAModel(5).fit(rng.random((3, 4)))
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in IMPUTER_NAMES:
+            imputer = make_imputer(name, n_spatial=2, rank=3, random_state=0)
+            assert hasattr(imputer, "fit_impute")
+
+    def test_mf_methods_get_rank(self):
+        nmf = make_imputer("nmf", rank=4)
+        smf = make_imputer("smf", rank=4)
+        smfl = make_imputer("smfl", rank=4)
+        assert isinstance(nmf, MaskedNMF) and nmf.rank == 4
+        assert isinstance(smf, SMF) and smf.rank == 4
+        assert isinstance(smfl, SMFL) and smfl.rank == 4
+
+    def test_spatial_param_forwarded(self):
+        smf = make_imputer("smf", n_spatial=3)
+        assert smf.n_spatial == 3
+
+    def test_case_insensitive(self):
+        assert isinstance(make_imputer("SMFL"), SMFL)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown imputer"):
+            make_imputer("oracle")
+
+    @pytest.mark.parametrize("name", sorted(IMPUTER_NAMES))
+    def test_every_method_runs_on_tiny_problem(self, name, rng):
+        u = rng.random((40, 3))
+        v = rng.random((3, 5))
+        x = np.clip(u @ v / 3.0, 0, 1)
+        x_missing, mask = inject_missing(
+            x, MissingSpec(missing_rate=0.1, columns=(2, 3, 4)), random_state=0
+        )
+        imputer = make_imputer(name, n_spatial=2, rank=3, random_state=0)
+        if name == "gain":
+            imputer.n_epochs = 20
+        if name == "camf":
+            imputer.n_epochs = 20
+        out = imputer.fit_impute(x_missing, mask)
+        assert out.shape == x.shape
+        assert np.isfinite(out).all()

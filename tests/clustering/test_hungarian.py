@@ -1,0 +1,77 @@
+"""Unit + property tests for the Kuhn-Munkres assignment."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import hungarian_assignment
+
+
+def brute_force_min_cost(cost: np.ndarray) -> float:
+    n, m = cost.shape
+    if n <= m:
+        best = np.inf
+        for perm in itertools.permutations(range(m), n):
+            best = min(best, sum(cost[i, perm[i]] for i in range(n)))
+        return best
+    return brute_force_min_cost(cost.T)
+
+
+class TestHungarianBasics:
+    def test_simple_2x2(self):
+        rows, cols = hungarian_assignment(np.array([[4.0, 1.0], [2.0, 8.0]]))
+        assert list(zip(rows, cols)) == [(0, 1), (1, 0)]
+
+    def test_identity_is_optimal(self):
+        cost = np.eye(4) * -1.0 + 1.0  # zeros on diagonal
+        rows, cols = hungarian_assignment(cost)
+        assert np.array_equal(rows, cols)
+
+    def test_rectangular_wide(self):
+        cost = np.array([[1.0, 0.0, 5.0], [0.0, 9.0, 5.0]])
+        rows, cols = hungarian_assignment(cost)
+        assert len(rows) == 2
+        assert cost[rows, cols].sum() == pytest.approx(0.0)
+
+    def test_rectangular_tall(self):
+        cost = np.array([[1.0, 0.0], [0.0, 9.0], [5.0, 5.0]])
+        rows, cols = hungarian_assignment(cost)
+        assert len(rows) == 2
+        assert cost[rows, cols].sum() == pytest.approx(0.0)
+
+    def test_negative_costs(self):
+        cost = np.array([[-5.0, 0.0], [0.0, -5.0]])
+        rows, cols = hungarian_assignment(cost)
+        assert cost[rows, cols].sum() == pytest.approx(-10.0)
+
+    def test_rows_sorted_and_unique(self, rng):
+        cost = rng.random((6, 6))
+        rows, cols = hungarian_assignment(cost)
+        assert np.array_equal(rows, np.arange(6))
+        assert len(set(cols.tolist())) == 6
+
+
+class TestHungarianOptimality:
+    @pytest.mark.parametrize("n,m", [(3, 3), (4, 4), (3, 5), (5, 3), (2, 6)])
+    def test_matches_brute_force(self, rng, n, m):
+        cost = rng.random((n, m))
+        rows, cols = hungarian_assignment(cost)
+        assert cost[rows, cols].sum() == pytest.approx(brute_force_min_cost(cost))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 5),
+        m=st.integers(1, 5),
+    )
+    def test_property_optimal(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        cost = rng.integers(-10, 10, size=(n, m)).astype(float)
+        rows, cols = hungarian_assignment(cost)
+        assert len(rows) == min(n, m)
+        assert cost[rows, cols].sum() == pytest.approx(brute_force_min_cost(cost))

@@ -1,0 +1,109 @@
+"""Unit + property tests for the from-scratch K-means."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import KMeans, kmeans_centers
+from repro.exceptions import DegenerateDataError, NotFittedError, ValidationError
+
+
+def three_blobs(rng, per=30, spread=0.05):
+    centers = np.array([[0.0, 0.0], [5.0, 5.0], [10.0, 0.0]])
+    pts = np.vstack([
+        c + rng.normal(scale=spread, size=(per, 2)) for c in centers
+    ])
+    labels = np.repeat(np.arange(3), per)
+    return pts, labels, centers
+
+
+class TestKMeansBasics:
+    def test_recovers_separated_blobs(self, rng):
+        pts, labels, centers = three_blobs(rng)
+        model = KMeans(n_clusters=3, random_state=0).fit(pts)
+        # Each found center is near one true center.
+        d = np.linalg.norm(model.centers_[:, None, :] - centers[None], axis=2)
+        assert (d.min(axis=1) < 0.5).all()
+
+    def test_labels_consistent_with_centers(self, rng):
+        pts, _, _ = three_blobs(rng)
+        model = KMeans(n_clusters=3, random_state=0).fit(pts)
+        d = np.linalg.norm(pts[:, None, :] - model.centers_[None], axis=2)
+        assert np.array_equal(model.labels_, np.argmin(d, axis=1))
+
+    def test_deterministic_given_seed(self, rng):
+        pts, _, _ = three_blobs(rng)
+        a = KMeans(n_clusters=3, random_state=7).fit(pts)
+        b = KMeans(n_clusters=3, random_state=7).fit(pts)
+        assert np.allclose(a.centers_, b.centers_)
+
+    def test_predict_assigns_nearest(self, rng):
+        pts, _, _ = three_blobs(rng)
+        model = KMeans(n_clusters=3, random_state=0).fit(pts)
+        new = np.array([[0.1, -0.1]])
+        pred = model.predict(new)
+        d = np.linalg.norm(model.centers_ - new[0], axis=1)
+        assert pred[0] == np.argmin(d)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            KMeans(n_clusters=2).predict(np.zeros((2, 2)))
+
+    def test_too_many_clusters_raises(self):
+        with pytest.raises(DegenerateDataError, match="exceeds"):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ValidationError):
+            KMeans(n_clusters=2, max_iter=0)
+        with pytest.raises(ValidationError):
+            KMeans(n_clusters=2, tol=-1.0)
+
+    def test_identical_points(self):
+        pts = np.ones((10, 2))
+        model = KMeans(n_clusters=3, random_state=0).fit(pts)
+        assert model.inertia_ == pytest.approx(0.0)
+
+    def test_k_equals_n(self, rng):
+        pts = rng.random((5, 2))
+        model = KMeans(n_clusters=5, random_state=0).fit(pts)
+        assert model.inertia_ == pytest.approx(0.0, abs=1e-12)
+
+    def test_fit_predict_matches_labels(self, rng):
+        pts, _, _ = three_blobs(rng)
+        model = KMeans(n_clusters=3, random_state=0)
+        labels = model.fit_predict(pts)
+        assert np.array_equal(labels, model.labels_)
+
+
+class TestKMeansProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5_000), n=st.integers(6, 50), k=st.integers(1, 5))
+    def test_inertia_never_worse_than_single_cluster(self, seed, n, k):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((n, 2))
+        k = min(k, n)
+        model = KMeans(n_clusters=k, random_state=0).fit(pts)
+        single = ((pts - pts.mean(axis=0)) ** 2).sum()
+        assert model.inertia_ <= single + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_every_cluster_has_a_center(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((40, 2))
+        model = KMeans(n_clusters=4, random_state=0).fit(pts)
+        assert model.centers_.shape == (4, 2)
+        assert np.isfinite(model.centers_).all()
+
+
+class TestKmeansCentersHelper:
+    def test_shape(self, rng):
+        pts = rng.random((30, 2))
+        centers = kmeans_centers(pts, 4, random_state=0)
+        assert centers.shape == (4, 2)

@@ -1,0 +1,96 @@
+"""Unit tests for clustering metrics (Section IV-B4 accuracy, etc.)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    clustering_accuracy,
+    confusion_matrix,
+    normalized_mutual_info,
+    purity,
+)
+from repro.exceptions import ValidationError
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        truth = np.array([0, 0, 1, 1])
+        pred = np.array([1, 1, 0, 1])
+        table = confusion_matrix(truth, pred)
+        assert table.tolist() == [[0, 2], [1, 1]]
+
+    def test_string_labels(self):
+        table = confusion_matrix(np.array(["a", "b"]), np.array(["x", "x"]))
+        assert table.sum() == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError, match="equal length"):
+            confusion_matrix(np.array([0, 1]), np.array([0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError, match="1-dimensional"):
+            confusion_matrix(np.zeros((2, 2)), np.zeros(4))
+
+
+class TestClusteringAccuracy:
+    def test_perfect_after_relabeling(self):
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        pred = np.array([2, 2, 0, 0, 1, 1])  # permuted labels
+        assert clustering_accuracy(truth, pred) == pytest.approx(1.0)
+
+    def test_half_right(self):
+        truth = np.array([0, 0, 1, 1])
+        pred = np.array([0, 1, 0, 1])
+        assert clustering_accuracy(truth, pred) == pytest.approx(0.5)
+
+    def test_in_unit_interval(self, rng):
+        truth = rng.integers(0, 3, size=50)
+        pred = rng.integers(0, 4, size=50)
+        acc = clustering_accuracy(truth, pred)
+        assert 0.0 <= acc <= 1.0
+
+    def test_at_least_majority_share(self, rng):
+        # Accuracy >= the share of the largest true class (the optimal
+        # sigma can always map one predicted cluster to it).
+        truth = np.array([0] * 30 + [1] * 10)
+        pred = np.zeros(40, dtype=int)
+        assert clustering_accuracy(truth, pred) == pytest.approx(0.75)
+
+
+class TestPurity:
+    def test_perfect(self):
+        labels = np.array([0, 1, 2, 0])
+        assert purity(labels, labels) == pytest.approx(1.0)
+
+    def test_bounded_below_by_accuracy_logic(self, rng):
+        truth = rng.integers(0, 3, size=60)
+        pred = rng.integers(0, 3, size=60)
+        assert purity(truth, pred) >= clustering_accuracy(truth, pred) - 1e-12
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert normalized_mutual_info(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_one(self):
+        truth = np.array([0, 0, 1, 1])
+        pred = np.array([1, 1, 0, 0])
+        assert normalized_mutual_info(truth, pred) == pytest.approx(1.0)
+
+    def test_single_cluster_convention(self):
+        truth = np.zeros(5, dtype=int)
+        pred = np.zeros(5, dtype=int)
+        assert normalized_mutual_info(truth, pred) == pytest.approx(1.0)
+
+    def test_independent_partitions_near_zero(self, rng):
+        truth = rng.integers(0, 2, size=2000)
+        pred = rng.integers(0, 2, size=2000)
+        assert normalized_mutual_info(truth, pred) < 0.02
+
+    def test_range(self, rng):
+        truth = rng.integers(0, 4, size=100)
+        pred = rng.integers(0, 3, size=100)
+        assert 0.0 <= normalized_mutual_info(truth, pred) <= 1.0

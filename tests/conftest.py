@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SpatialDataset, load_dataset
+from repro.masking import MissingSpec, ObservationMask, inject_missing
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for ad-hoc randomness in tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_dataset() -> SpatialDataset:
+    """A small lake-style dataset (fast enough for model fits)."""
+    return load_dataset("lake", n_rows=80, random_state=0)
+
+
+@pytest.fixture
+def tiny_trial(tiny_dataset) -> tuple[SpatialDataset, np.ndarray, ObservationMask]:
+    """(dataset, corrupted matrix, mask) with 10% missing attribute cells."""
+    x_missing, mask = inject_missing(
+        tiny_dataset.values,
+        MissingSpec(missing_rate=0.1, columns=tiny_dataset.attribute_columns),
+        random_state=0,
+    )
+    return tiny_dataset, x_missing, mask
+
+
+@pytest.fixture
+def small_nonneg_matrix(rng) -> np.ndarray:
+    """A 30x6 non-negative matrix with mild low-rank structure."""
+    u = rng.random((30, 3))
+    v = rng.random((3, 6))
+    return u @ v + 0.01 * rng.random((30, 6))

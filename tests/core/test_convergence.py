@@ -1,0 +1,84 @@
+"""Unit tests for the convergence monitor."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import ConvergenceMonitor
+from repro.exceptions import ConvergenceWarning, ValidationError
+
+
+class TestConvergenceMonitor:
+    def test_runs_until_budget(self):
+        monitor = ConvergenceMonitor(max_iter=5, tol=0.0)
+        steps = 0
+        while monitor.keep_going():
+            steps += 1
+            monitor.record(1.0 / steps)
+        assert steps == 5
+        assert not monitor.converged
+
+    def test_declares_convergence_on_small_decrease(self):
+        monitor = ConvergenceMonitor(max_iter=100, tol=1e-3)
+        monitor.record(1.0)
+        monitor.record(0.9999)  # relative decrease 1e-4 < tol
+        assert monitor.converged
+        assert not monitor.keep_going()
+
+    def test_increase_counts_as_converged(self):
+        # An increase means decrease < tol, so the monitor stops; the
+        # caller's rules guarantee monotonicity anyway.
+        monitor = ConvergenceMonitor(max_iter=10, tol=1e-6)
+        monitor.record(1.0)
+        monitor.record(1.5)
+        assert monitor.converged
+
+    def test_keeps_going_on_large_decrease(self):
+        monitor = ConvergenceMonitor(max_iter=10, tol=1e-3)
+        monitor.record(1.0)
+        monitor.record(0.5)
+        assert not monitor.converged
+        assert monitor.keep_going()
+
+    def test_history_recorded(self):
+        monitor = ConvergenceMonitor(max_iter=10, tol=0.0)
+        for value in (3.0, 2.0, 1.0):
+            monitor.record(value)
+        assert monitor.history == [3.0, 2.0, 1.0]
+        assert monitor.n_iter == 3
+
+    def test_reset(self):
+        monitor = ConvergenceMonitor(max_iter=10, tol=1.0)
+        monitor.record(1.0)
+        monitor.record(0.99)
+        assert monitor.converged
+        monitor.reset()
+        assert not monitor.converged
+        assert monitor.history == []
+
+    def test_budget_warning(self):
+        monitor = ConvergenceMonitor(max_iter=1, tol=0.0, warn_on_budget=True)
+        monitor.record(1.0)
+        with pytest.warns(ConvergenceWarning):
+            assert not monitor.keep_going()
+
+    def test_no_warning_by_default(self):
+        monitor = ConvergenceMonitor(max_iter=1, tol=0.0)
+        monitor.record(1.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert not monitor.keep_going()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ConvergenceMonitor(max_iter=0)
+        with pytest.raises(ValidationError):
+            ConvergenceMonitor(tol=-1.0)
+
+    def test_zero_tol_requires_strict_increase_to_stop(self):
+        monitor = ConvergenceMonitor(max_iter=10, tol=0.0)
+        monitor.record(1.0)
+        monitor.record(0.999999)
+        assert not monitor.converged

@@ -1,0 +1,63 @@
+"""Unit tests for factor initialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.initialization import INIT_STRATEGIES, init_factors
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def masked_problem(rng):
+    x = rng.random((20, 6))
+    observed = rng.random((20, 6)) > 0.2
+    return np.where(observed, x, 0.0), observed
+
+
+class TestInitFactors:
+    @pytest.mark.parametrize("strategy", INIT_STRATEGIES)
+    def test_shapes_and_positivity(self, masked_problem, strategy):
+        x_observed, observed = masked_problem
+        u, v = init_factors(
+            x_observed, observed, 4, strategy=strategy, random_state=0
+        )
+        assert u.shape == (20, 4)
+        assert v.shape == (4, 6)
+        assert (u > 0).all()
+        assert (v > 0).all()
+
+    def test_random_scale_matches_data(self, masked_problem):
+        x_observed, observed = masked_problem
+        u, v = init_factors(x_observed, observed, 4, random_state=0)
+        product_mean = float((u @ v).mean())
+        data_mean = float(x_observed[observed].mean())
+        assert 0.2 * data_mean < product_mean < 5 * data_mean
+
+    def test_random_deterministic(self, masked_problem):
+        x_observed, observed = masked_problem
+        a = init_factors(x_observed, observed, 3, random_state=9)
+        b = init_factors(x_observed, observed, 3, random_state=9)
+        assert np.allclose(a[0], b[0])
+        assert np.allclose(a[1], b[1])
+
+    def test_nndsvd_deterministic_without_seed(self, masked_problem):
+        x_observed, observed = masked_problem
+        a = init_factors(x_observed, observed, 3, strategy="nndsvd")
+        b = init_factors(x_observed, observed, 3, strategy="nndsvd")
+        assert np.allclose(a[0], b[0])
+
+    def test_nndsvd_reconstruction_reasonable(self, rng):
+        u_true = rng.random((15, 2))
+        v_true = rng.random((2, 5))
+        x = u_true @ v_true
+        observed = np.ones((15, 5), dtype=bool)
+        u, v = init_factors(x, observed, 2, strategy="nndsvd")
+        relative = np.linalg.norm(x - u @ v) / np.linalg.norm(x)
+        assert relative < 0.5
+
+    def test_unknown_strategy(self, masked_problem):
+        x_observed, observed = masked_problem
+        with pytest.raises(ValidationError, match="unknown init"):
+            init_factors(x_observed, observed, 3, strategy="magic")

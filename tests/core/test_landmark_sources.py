@@ -1,0 +1,90 @@
+"""Unit tests for the alternative landmark sources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.landmark_sources import LANDMARK_SOURCES, build_landmarks
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def coords(rng):
+    return rng.random((60, 2))
+
+
+@pytest.mark.parametrize("source", LANDMARK_SOURCES)
+class TestAllSources:
+    def test_shape_and_nonnegativity(self, coords, source):
+        landmarks = build_landmarks(coords, 5, source=source, random_state=0)
+        assert landmarks.values.shape == (5, 2)
+        assert (landmarks.values >= 0).all()
+
+    def test_deterministic(self, coords, source):
+        a = build_landmarks(coords, 4, source=source, random_state=7)
+        b = build_landmarks(coords, 4, source=source, random_state=7)
+        assert np.allclose(a.values, b.values)
+
+    def test_inside_bounding_box(self, coords, source):
+        landmarks = build_landmarks(coords, 6, source=source, random_state=0)
+        assert (landmarks.values >= coords.min(axis=0) - 1e-9).all()
+        assert (landmarks.values <= coords.max(axis=0) + 1e-9).all()
+
+    def test_handles_missing_cells(self, coords, source):
+        coords = coords.copy()
+        coords[0, 0] = np.nan
+        landmarks = build_landmarks(coords, 3, source=source, random_state=0)
+        assert np.isfinite(landmarks.values).all()
+
+
+class TestSpecificSources:
+    def test_unknown_source(self, coords):
+        with pytest.raises(ValidationError, match="unknown landmark source"):
+            build_landmarks(coords, 3, source="oracle")
+
+    def test_sample_returns_observed_points(self, coords):
+        landmarks = build_landmarks(coords, 5, source="sample", random_state=0)
+        observed = {tuple(row) for row in coords}
+        for row in landmarks.values:
+            assert tuple(row) in observed
+
+    def test_medoid_returns_observed_points(self, coords):
+        landmarks = build_landmarks(coords, 5, source="medoid", random_state=0)
+        observed = {tuple(np.round(row, 12)) for row in coords}
+        for row in landmarks.values:
+            assert tuple(np.round(row, 12)) in observed
+
+    def test_grid_covers_box(self, coords):
+        landmarks = build_landmarks(coords, 9, source="grid", random_state=0)
+        # A 3x3 grid over the box spans both dimensions.
+        span = landmarks.values.max(axis=0) - landmarks.values.min(axis=0)
+        data_span = coords.max(axis=0) - coords.min(axis=0)
+        assert (span > 0.5 * data_span).all()
+
+    def test_k_larger_than_n_padded(self, rng):
+        small = rng.random((3, 2))
+        landmarks = build_landmarks(small, 6, source="kmeans", random_state=0)
+        assert landmarks.values.shape == (6, 2)
+
+    def test_smfl_accepts_every_source(self, rng):
+        from repro.core import SMFL
+        from repro.masking import MissingSpec, inject_missing
+        from repro.data import load_dataset
+
+        data = load_dataset("lake", n_rows=80, random_state=0)
+        x_missing, mask = inject_missing(
+            data.values,
+            MissingSpec(missing_rate=0.1, columns=data.attribute_columns),
+            random_state=0,
+        )
+        for source in LANDMARK_SOURCES:
+            landmarks = build_landmarks(
+                data.spatial, 5, source=source, random_state=0
+            )
+            model = SMFL(
+                rank=5, n_spatial=2, landmarks=landmarks,
+                random_state=0, max_iter=30,
+            )
+            out = model.fit_impute(x_missing, mask)
+            assert np.isfinite(out).all()

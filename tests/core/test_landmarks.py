@@ -1,0 +1,84 @@
+"""Unit tests for landmark generation and injection (Section III-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LandmarkSet, kmeans_landmarks
+from repro.exceptions import ValidationError
+
+
+class TestLandmarkSet:
+    def test_shape_properties(self):
+        landmarks = LandmarkSet(values=np.array([[0.1, 0.2], [0.3, 0.4]]))
+        assert landmarks.n_landmarks == 2
+        assert landmarks.n_spatial == 2
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            LandmarkSet(values=np.array([[-0.1, 0.2]]))
+
+    def test_values_immutable(self):
+        landmarks = LandmarkSet(values=np.array([[0.1, 0.2]]))
+        with pytest.raises(ValueError):
+            landmarks.values[0, 0] = 9.0
+
+    def test_frozen_mask(self):
+        landmarks = LandmarkSet(values=np.array([[0.1, 0.2], [0.3, 0.4]]))
+        mask = landmarks.frozen_mask((2, 5))
+        assert mask[:, :2].all()
+        assert not mask[:, 2:].any()
+
+    def test_frozen_mask_row_mismatch(self):
+        landmarks = LandmarkSet(values=np.array([[0.1, 0.2]]))
+        with pytest.raises(ValidationError, match="rows"):
+            landmarks.frozen_mask((3, 5))
+
+    def test_frozen_mask_too_few_columns(self):
+        landmarks = LandmarkSet(values=np.array([[0.1, 0.2]]))
+        with pytest.raises(ValidationError, match="columns"):
+            landmarks.frozen_mask((1, 1))
+
+    def test_inject_formula_9(self, rng):
+        landmarks = LandmarkSet(values=np.array([[0.1, 0.2], [0.3, 0.4]]))
+        v = rng.random((2, 5))
+        injected = landmarks.inject(v)
+        assert np.allclose(injected[:, :2], landmarks.values)
+        assert np.allclose(injected[:, 2:], v[:, 2:])
+        # Original untouched.
+        assert not np.allclose(v[:, :2], landmarks.values)
+
+
+class TestKmeansLandmarks:
+    def test_centers_match_kmeans(self, rng):
+        pts = np.vstack([
+            rng.normal(loc=0.2, scale=0.02, size=(30, 2)),
+            rng.normal(loc=0.8, scale=0.02, size=(30, 2)),
+        ])
+        landmarks = kmeans_landmarks(pts, 2, random_state=0)
+        centers = np.sort(landmarks.values[:, 0])
+        assert centers[0] == pytest.approx(0.2, abs=0.05)
+        assert centers[1] == pytest.approx(0.8, abs=0.05)
+
+    def test_count_matches_rank(self, rng):
+        landmarks = kmeans_landmarks(rng.random((50, 2)), 7, random_state=0)
+        assert landmarks.n_landmarks == 7
+
+    def test_handles_missing_spatial_cells(self, rng):
+        pts = rng.random((40, 2))
+        pts[3, 0] = np.nan
+        landmarks = kmeans_landmarks(pts, 3, random_state=0)
+        assert np.isfinite(landmarks.values).all()
+
+    def test_deterministic(self, rng):
+        pts = rng.random((40, 2))
+        a = kmeans_landmarks(pts, 4, random_state=11)
+        b = kmeans_landmarks(pts, 4, random_state=11)
+        assert np.allclose(a.values, b.values)
+
+    def test_landmarks_inside_data_hull_boxwise(self, rng):
+        pts = rng.random((60, 2))
+        landmarks = kmeans_landmarks(pts, 5, random_state=0)
+        assert (landmarks.values >= pts.min(axis=0) - 1e-9).all()
+        assert (landmarks.values <= pts.max(axis=0) + 1e-9).all()

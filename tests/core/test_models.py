@@ -1,0 +1,192 @@
+"""Unit tests for MaskedNMF, SMF and SMFL (model-level behaviour)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MaskedNMF, SMF, SMFL, LandmarkSet
+from repro.exceptions import NotFittedError, ValidationError
+from repro.metrics import rms_over_mask
+
+
+class TestMaskedNMF:
+    def test_fit_impute_fills_only_missing(self, tiny_trial):
+        dataset, x_missing, mask = tiny_trial
+        model = MaskedNMF(rank=4, random_state=0, max_iter=100)
+        imputed = model.fit_impute(x_missing, mask)
+        rows, cols = mask.indices()
+        assert np.allclose(imputed[rows, cols], x_missing[rows, cols])
+        assert np.isfinite(imputed).all()
+
+    def test_nan_input_without_mask(self, tiny_dataset):
+        x = tiny_dataset.values.copy()
+        x[0, 3] = np.nan
+        model = MaskedNMF(rank=3, random_state=0, max_iter=50)
+        imputed = model.fit_impute(x)
+        assert np.isfinite(imputed[0, 3])
+
+    def test_methods_require_fit(self):
+        model = MaskedNMF(rank=3)
+        with pytest.raises(NotFittedError):
+            model.reconstruct()
+        with pytest.raises(NotFittedError):
+            model.impute()
+        with pytest.raises(NotFittedError):
+            model.result()
+
+    def test_factors_nonnegative(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        model = MaskedNMF(rank=4, random_state=0, max_iter=60).fit(x_missing, mask)
+        assert (model.u_ >= 0).all()
+        assert (model.v_ >= 0).all()
+
+    def test_rank_validation_against_data(self, rng):
+        x = rng.random((5, 4))
+        with pytest.raises(ValidationError, match="exceeds"):
+            MaskedNMF(rank=5).fit(x)
+
+    def test_rejects_negative_observed_values(self, rng):
+        x = rng.random((10, 4)) - 2.0
+        with pytest.raises(ValidationError, match="non-negative"):
+            MaskedNMF(rank=2).fit(x)
+
+    def test_rejects_nan_at_observed_cells(self, rng):
+        x = rng.random((6, 4))
+        x[0, 0] = np.nan
+        mask = np.ones((6, 4), dtype=bool)  # claims everything observed
+        with pytest.raises(ValidationError, match="NaN"):
+            MaskedNMF(rank=2).fit(x, mask)
+
+    def test_unknown_update_rule(self):
+        with pytest.raises(ValidationError, match="update_rule"):
+            MaskedNMF(rank=2, update_rule="newton")
+
+    def test_gradient_rule_runs(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        model = MaskedNMF(
+            rank=3, update_rule="gradient", learning_rate=1e-3,
+            random_state=0, max_iter=50,
+        )
+        imputed = model.fit_impute(x_missing, mask)
+        assert np.isfinite(imputed).all()
+
+    def test_objective_history_monotone(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        model = MaskedNMF(rank=4, random_state=0, max_iter=80).fit(x_missing, mask)
+        history = np.array(model.objective_history_)
+        assert (np.diff(history) <= 1e-8 * (1 + history[:-1])).all()
+
+    def test_result_summary(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        model = MaskedNMF(rank=3, random_state=0, max_iter=30).fit(x_missing, mask)
+        result = model.result()
+        assert result.n_iter == model.n_iter_
+        assert result.final_objective == model.objective_history_[-1]
+
+    def test_clip_to_observed(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        model = MaskedNMF(rank=4, random_state=0, max_iter=60, clip_to_observed=True)
+        imputed = model.fit_impute(x_missing, mask)
+        for j in range(x_missing.shape[1]):
+            observed_col = x_missing[mask.observed[:, j], j]
+            if observed_col.size:
+                assert imputed[:, j].max() <= observed_col.max() + 1e-12
+                assert imputed[:, j].min() >= observed_col.min() - 1e-12
+
+
+class TestSMF:
+    def test_graph_built_on_fit(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        model = SMF(rank=4, n_spatial=2, random_state=0, max_iter=40)
+        model.fit(x_missing, mask)
+        n = x_missing.shape[0]
+        assert model.similarity_.shape == (n, n)
+        assert model.degree_.shape == (n,)
+        assert model.laplacian_.shape == (n, n)
+
+    def test_lam_zero_matches_nmf_update_path(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        smf = SMF(rank=3, n_spatial=2, lam=0.0, random_state=0, max_iter=40)
+        nmf = MaskedNMF(rank=3, random_state=0, max_iter=40)
+        a = smf.fit_impute(x_missing, mask)
+        b = nmf.fit_impute(x_missing, mask)
+        assert np.allclose(a, b)
+
+    def test_feature_locations_shape(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        model = SMF(rank=4, n_spatial=2, random_state=0, max_iter=40)
+        model.fit(x_missing, mask)
+        assert model.feature_locations().shape == (4, 2)
+
+    def test_feature_locations_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            SMF(rank=3, n_spatial=2).feature_locations()
+
+    def test_gradient_variant(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        model = SMF(
+            rank=3, n_spatial=2, update_rule="gradient",
+            learning_rate=1e-3, random_state=0, max_iter=50,
+        )
+        imputed = model.fit_impute(x_missing, mask)
+        assert np.isfinite(imputed).all()
+
+    def test_invalid_lam(self):
+        with pytest.raises(ValidationError):
+            SMF(rank=3, lam=-0.1)
+
+
+class TestSMFL:
+    def test_landmarks_frozen_through_fit(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        model = SMFL(rank=4, n_spatial=2, random_state=0, max_iter=60)
+        model.fit(x_missing, mask)
+        assert model.landmarks_ is not None
+        assert np.allclose(model.feature_locations(), model.landmarks_.values)
+
+    def test_landmarks_inside_observation_box(self, tiny_trial):
+        dataset, x_missing, mask = tiny_trial
+        model = SMFL(rank=4, n_spatial=2, random_state=0, max_iter=60)
+        model.fit(x_missing, mask)
+        spatial = dataset.spatial
+        locations = model.feature_locations()
+        assert (locations >= spatial.min(axis=0) - 1e-9).all()
+        assert (locations <= spatial.max(axis=0) + 1e-9).all()
+
+    def test_custom_landmarks_used(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        custom = LandmarkSet(values=np.full((4, 2), 0.5))
+        model = SMFL(
+            rank=4, n_spatial=2, landmarks=custom, random_state=0, max_iter=30
+        )
+        model.fit(x_missing, mask)
+        assert np.allclose(model.feature_locations(), 0.5)
+
+    def test_landmark_init_default(self):
+        model = SMFL(rank=3, n_spatial=2)
+        assert model.init == "landmark"
+
+    def test_random_init_override(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        model = SMFL(rank=3, n_spatial=2, init="random", random_state=0, max_iter=30)
+        imputed = model.fit_impute(x_missing, mask)
+        assert np.isfinite(imputed).all()
+
+    def test_beats_nmf_on_spatial_data(self, tiny_trial):
+        dataset, x_missing, mask = tiny_trial
+        nmf = MaskedNMF(rank=4, random_state=0)
+        smfl = SMFL(rank=4, n_spatial=2, random_state=0)
+        rms_nmf = rms_over_mask(nmf.fit_impute(x_missing, mask), dataset.values, mask)
+        rms_smfl = rms_over_mask(smfl.fit_impute(x_missing, mask), dataset.values, mask)
+        assert rms_smfl < rms_nmf
+
+    def test_refit_rebuilds_landmarks(self, tiny_trial, rng):
+        _, x_missing, mask = tiny_trial
+        model = SMFL(rank=4, n_spatial=2, random_state=0, max_iter=20)
+        model.fit(x_missing, mask)
+        first = model.landmarks_.values.copy()
+        shifted = x_missing.copy()
+        shifted[:, :2] = np.clip(shifted[:, :2] * 0.5, 0, 1)
+        model.fit(shifted, mask)
+        assert not np.allclose(model.landmarks_.values, first)

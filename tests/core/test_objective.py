@@ -1,0 +1,109 @@
+"""Unit tests for the SMFL objective components."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import masked_frobenius_sq, smoothness_penalty, total_objective
+from repro.exceptions import ValidationError
+from repro.spatial import laplacian_from_points
+
+
+class TestMaskedFrobenius:
+    def test_full_mask_is_plain_frobenius(self, rng):
+        x = rng.random((6, 4))
+        u = rng.random((6, 2))
+        v = rng.random((2, 4))
+        observed = np.ones((6, 4), dtype=bool)
+        expected = float(np.linalg.norm(x - u @ v) ** 2)
+        assert masked_frobenius_sq(x, u, v, observed) == pytest.approx(expected)
+
+    def test_unobserved_cells_ignored(self, rng):
+        x = rng.random((5, 3))
+        u = rng.random((5, 2))
+        v = rng.random((2, 3))
+        observed = np.ones((5, 3), dtype=bool)
+        observed[0, 0] = False
+        base = masked_frobenius_sq(x, u, v, observed)
+        x2 = x.copy()
+        x2[0, 0] = 999.0  # must not affect the objective
+        assert masked_frobenius_sq(x2, u, v, observed) == pytest.approx(base)
+
+    def test_zero_for_exact_factorization(self, rng):
+        u = rng.random((5, 2))
+        v = rng.random((2, 3))
+        x = u @ v
+        observed = np.ones((5, 3), dtype=bool)
+        assert masked_frobenius_sq(x, u, v, observed) == pytest.approx(0.0)
+
+    def test_shape_checks(self, rng):
+        with pytest.raises(ValidationError, match="chain"):
+            masked_frobenius_sq(
+                rng.random((4, 3)), rng.random((4, 2)), rng.random((3, 3)),
+                np.ones((4, 3), dtype=bool),
+            )
+        with pytest.raises(ValidationError, match="but X is"):
+            masked_frobenius_sq(
+                rng.random((4, 3)), rng.random((5, 2)), rng.random((2, 3)),
+                np.ones((4, 3), dtype=bool),
+            )
+
+
+class TestSmoothnessPenalty:
+    def test_matches_pairwise_form(self, rng):
+        pts = rng.random((10, 2))
+        similarity, _, laplacian = laplacian_from_points(pts, 2)
+        u = rng.random((10, 3))
+        expected = 0.5 * sum(
+            similarity[i, j] * np.sum((u[i] - u[j]) ** 2)
+            for i in range(10)
+            for j in range(10)
+        )
+        assert smoothness_penalty(u, laplacian) == pytest.approx(expected)
+
+    def test_zero_for_constant_rows(self, rng):
+        pts = rng.random((8, 2))
+        _, _, laplacian = laplacian_from_points(pts, 2)
+        u = np.ones((8, 3))
+        assert smoothness_penalty(u, laplacian) == pytest.approx(0.0)
+
+    def test_never_negative(self, rng):
+        pts = rng.random((8, 2))
+        _, _, laplacian = laplacian_from_points(pts, 2)
+        for _ in range(5):
+            assert smoothness_penalty(rng.random((8, 2)), laplacian) >= 0.0
+
+    def test_shape_check(self, rng):
+        with pytest.raises(ValidationError, match="laplacian"):
+            smoothness_penalty(rng.random((5, 2)), rng.random((4, 4)))
+
+
+class TestTotalObjective:
+    def test_reduces_to_nmf_when_lam_zero(self, rng):
+        x = rng.random((6, 4))
+        u = rng.random((6, 2))
+        v = rng.random((2, 4))
+        observed = rng.random((6, 4)) > 0.2
+        assert total_objective(x, u, v, observed) == pytest.approx(
+            masked_frobenius_sq(x, u, v, observed)
+        )
+
+    def test_adds_weighted_penalty(self, rng):
+        x = rng.random((8, 4))
+        u = rng.random((8, 3))
+        v = rng.random((3, 4))
+        observed = np.ones((8, 4), dtype=bool)
+        _, _, laplacian = laplacian_from_points(rng.random((8, 2)), 2)
+        total = total_objective(x, u, v, observed, lam=0.7, laplacian=laplacian)
+        assert total == pytest.approx(
+            masked_frobenius_sq(x, u, v, observed)
+            + 0.7 * smoothness_penalty(u, laplacian)
+        )
+
+    def test_lam_without_laplacian_raises(self, rng):
+        x = rng.random((4, 3))
+        u = rng.random((4, 2))
+        v = rng.random((2, 3))
+        with pytest.raises(ValidationError, match="laplacian"):
+            total_objective(x, u, v, np.ones((4, 3), dtype=bool), lam=0.5)

@@ -1,0 +1,84 @@
+"""Unit tests for the RBF spatial fields."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import RBFField, make_smooth_field
+
+
+BOUNDS = np.array([[0.0, 1.0], [0.0, 1.0]])
+
+
+class TestRBFField:
+    def test_evaluates_mixture(self):
+        field = RBFField(
+            centers=np.array([[0.0, 0.0]]),
+            amplitudes=np.array([2.0]),
+            length_scales=np.array([1.0]),
+            offset=1.0,
+        )
+        assert field(np.array([[0.0, 0.0]]))[0] == pytest.approx(3.0)
+        far = field(np.array([[100.0, 100.0]]))[0]
+        assert far == pytest.approx(1.0, abs=1e-6)
+
+    def test_rejects_mismatched_amplitudes(self):
+        with pytest.raises(ValueError, match="one entry per center"):
+            RBFField(
+                centers=np.zeros((2, 2)),
+                amplitudes=np.array([1.0]),
+                length_scales=np.array([1.0, 1.0]),
+            )
+
+    def test_rejects_nonpositive_scales(self):
+        with pytest.raises(ValueError, match="positive"):
+            RBFField(
+                centers=np.zeros((1, 2)),
+                amplitudes=np.array([1.0]),
+                length_scales=np.array([0.0]),
+            )
+
+    def test_immutable(self):
+        field = RBFField(
+            centers=np.zeros((1, 2)),
+            amplitudes=np.array([1.0]),
+            length_scales=np.array([1.0]),
+        )
+        with pytest.raises(ValueError):
+            field.amplitudes[0] = 5.0
+
+
+class TestMakeSmoothField:
+    def test_deterministic(self):
+        a = make_smooth_field(BOUNDS, random_state=0)
+        b = make_smooth_field(BOUNDS, random_state=0)
+        pts = np.array([[0.3, 0.7], [0.9, 0.1]])
+        assert np.allclose(a(pts), b(pts))
+
+    def test_centers_inside_bounds(self):
+        field = make_smooth_field(BOUNDS, n_bumps=20, random_state=1)
+        assert (field.centers >= 0.0).all() and (field.centers <= 1.0).all()
+
+    def test_smoothness(self):
+        # Nearby points give nearby values: finite difference is bounded
+        # by a modest Lipschitz constant for unit-amplitude fields.
+        field = make_smooth_field(BOUNDS, n_bumps=8, amplitude=1.0, random_state=2)
+        rng = np.random.default_rng(0)
+        pts = rng.random((200, 2))
+        eps = 1e-4
+        shifted = pts + np.array([eps, 0.0])
+        gradient = np.abs(field(shifted) - field(pts)) / eps
+        assert gradient.max() < 50.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="low < high"):
+            make_smooth_field(np.array([[1.0, 0.0], [0.0, 1.0]]))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match=r"\(L, 2\)"):
+            make_smooth_field(np.array([[0.0, 1.0, 2.0]]))
+
+    def test_offset_applied(self):
+        field = make_smooth_field(BOUNDS, amplitude=0.0, offset=5.0, random_state=0)
+        assert field(np.array([[0.5, 0.5]]))[0] == pytest.approx(5.0)

@@ -1,0 +1,81 @@
+"""Unit tests for the four dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_economic, make_farm, make_lake, make_vehicle
+
+GENERATORS = {
+    "economic": (make_economic, 13),
+    "farm": (make_farm, 13),
+    "lake": (make_lake, 7),
+    "vehicle": (make_vehicle, 7),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestGeneratorContracts:
+    def test_shape_and_columns(self, name):
+        generator, n_cols = GENERATORS[name]
+        data = generator(n_rows=120, random_state=0)
+        assert data.n_rows == 120
+        assert data.n_cols == n_cols
+        assert data.n_spatial == 2
+        assert len(data.column_names) == n_cols
+
+    def test_deterministic(self, name):
+        generator, _ = GENERATORS[name]
+        a = generator(n_rows=60, random_state=5)
+        b = generator(n_rows=60, random_state=5)
+        assert np.allclose(a.values, b.values)
+
+    def test_different_seeds_differ(self, name):
+        generator, _ = GENERATORS[name]
+        a = generator(n_rows=60, random_state=1)
+        b = generator(n_rows=60, random_state=2)
+        assert not np.allclose(a.values, b.values)
+
+    def test_finite_values(self, name):
+        generator, _ = GENERATORS[name]
+        data = generator(n_rows=100, random_state=0)
+        assert np.isfinite(data.values).all()
+
+    def test_labels_align(self, name):
+        generator, _ = GENERATORS[name]
+        data = generator(n_rows=100, random_state=0)
+        assert data.labels is not None
+        assert data.labels.shape == (100,)
+        assert data.labels.min() >= 0
+
+    def test_spatially_clustered(self, name):
+        # Within-cluster location variance should be well below the
+        # total variance (the generators sample from spatial mixtures).
+        generator, _ = GENERATORS[name]
+        data = generator(n_rows=200, random_state=0)
+        labels = data.labels
+        total_var = data.spatial.var(axis=0).sum()
+        within = 0.0
+        for c in np.unique(labels):
+            members = data.spatial[labels == c]
+            within += members.var(axis=0).sum() * members.shape[0]
+        within /= data.n_rows
+        assert within < 0.6 * total_var
+
+
+class TestVehicleSemantics:
+    def test_fuel_rate_correlates_with_elevation(self):
+        data = make_vehicle(n_rows=600, random_state=0)
+        fuel = data.values[:, data.column_names.index("fuel_consumption_rate")]
+        elevation = data.values[:, data.column_names.index("elevation")]
+        corr = np.corrcoef(fuel, elevation)[0, 1]
+        assert corr > 0.2
+
+    def test_east_lower_elevation(self):
+        # Figure 1: the east region sits at lower altitude.
+        data = make_vehicle(n_rows=600, random_state=0)
+        lon = data.values[:, 1]
+        elevation = data.values[:, data.column_names.index("elevation")]
+        corr = np.corrcoef(lon, elevation)[0, 1]
+        assert corr < -0.2

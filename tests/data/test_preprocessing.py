@@ -1,0 +1,97 @@
+"""Unit tests for the Section IV-A1 pre-processing steps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MinMaxScaler,
+    extract_complete_holdout,
+    filter_complete_rows,
+    minmax_normalize,
+)
+from repro.exceptions import DegenerateDataError, NotFittedError
+
+
+class TestMinMaxScaler:
+    def test_range_is_unit_interval(self, rng):
+        x = rng.normal(size=(30, 4)) * 10 + 5
+        out = MinMaxScaler().fit_transform(x)
+        assert out.min() >= -1e-12
+        assert out.max() <= 1 + 1e-12
+        assert out.min(axis=0) == pytest.approx(np.zeros(4), abs=1e-12)
+        assert out.max(axis=0) == pytest.approx(np.ones(4), abs=1e-12)
+
+    def test_roundtrip(self, rng):
+        x = rng.normal(size=(20, 3))
+        scaler = MinMaxScaler()
+        out = scaler.fit_transform(x)
+        assert np.allclose(scaler.inverse_transform(out), x)
+
+    def test_constant_column(self):
+        x = np.column_stack([np.full(5, 7.0), np.arange(5, dtype=float)])
+        scaler = MinMaxScaler()
+        out = scaler.fit_transform(x)
+        assert np.allclose(out[:, 0], 0.0)
+        assert np.allclose(scaler.inverse_transform(out)[:, 0], 7.0)
+
+    def test_nan_passthrough(self):
+        x = np.array([[1.0, np.nan], [3.0, 2.0], [5.0, 4.0]])
+        out = MinMaxScaler().fit_transform(x)
+        assert np.isnan(out[0, 1])
+        assert out[0, 0] == pytest.approx(0.0)
+
+    def test_all_nan_column_raises(self):
+        x = np.array([[1.0, np.nan], [2.0, np.nan]])
+        with pytest.raises(DegenerateDataError, match="no observed"):
+            MinMaxScaler().fit(x)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+    def test_column_count_checked(self, rng):
+        scaler = MinMaxScaler().fit(rng.random((5, 3)))
+        with pytest.raises(DegenerateDataError, match="columns"):
+            scaler.transform(rng.random((5, 4)))
+
+    def test_minmax_normalize_helper(self, rng):
+        x = rng.normal(size=(10, 2))
+        assert np.allclose(minmax_normalize(x), MinMaxScaler().fit_transform(x))
+
+
+class TestFilterCompleteRows:
+    def test_drops_nan_rows(self):
+        x = np.array([[1.0, 2.0], [np.nan, 3.0], [4.0, 5.0]])
+        out = filter_complete_rows(x)
+        assert out.shape == (2, 2)
+
+    def test_all_incomplete_raises(self):
+        x = np.array([[np.nan, 1.0], [2.0, np.nan]])
+        with pytest.raises(DegenerateDataError, match="no complete rows"):
+            filter_complete_rows(x)
+
+
+class TestExtractCompleteHoldout:
+    def test_partition(self):
+        holdout, rest = extract_complete_holdout(500, 100, random_state=0)
+        assert holdout.size == 100
+        assert rest.size == 400
+        assert np.intersect1d(holdout, rest).size == 0
+        assert np.union1d(holdout, rest).size == 500
+
+    def test_small_dataset_shrinks_holdout(self):
+        holdout, rest = extract_complete_holdout(40, 100, random_state=0)
+        assert holdout.size == 10  # a quarter of the rows
+        assert rest.size == 30
+
+    def test_deterministic(self):
+        a, _ = extract_complete_holdout(200, 50, random_state=3)
+        b, _ = extract_complete_holdout(200, 50, random_state=3)
+        assert np.array_equal(a, b)
+
+    def test_sorted(self):
+        holdout, rest = extract_complete_holdout(100, 20, random_state=0)
+        assert np.array_equal(holdout, np.sort(holdout))
+        assert np.array_equal(rest, np.sort(rest))

@@ -1,0 +1,41 @@
+"""Unit tests for the dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DATASET_NAMES, load_dataset
+from repro.exceptions import ValidationError
+
+
+class TestLoadDataset:
+    def test_names_exposed(self):
+        assert set(DATASET_NAMES) == {"economic", "farm", "lake", "vehicle"}
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_normalized_by_default(self, name):
+        data = load_dataset(name, n_rows=80)
+        assert data.values.min() >= -1e-12
+        assert data.values.max() <= 1 + 1e-12
+
+    def test_default_seed_pins_instance(self):
+        a = load_dataset("lake", n_rows=50)
+        b = load_dataset("lake", n_rows=50)
+        assert np.allclose(a.values, b.values)
+
+    def test_raw_mode(self):
+        data = load_dataset("lake", n_rows=50, normalize=False)
+        # Raw latitudes for the lake box are in the 41-49 range.
+        assert data.values[:, 0].min() > 40.0
+
+    def test_case_insensitive(self):
+        data = load_dataset("LAKE", n_rows=30)
+        assert data.name == "lake"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown dataset"):
+            load_dataset("mars")
+
+    def test_n_rows_override(self):
+        assert load_dataset("farm", n_rows=123).n_rows == 123

@@ -1,0 +1,80 @@
+"""Unit tests for SpatialDataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SpatialDataset
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def dataset(rng) -> SpatialDataset:
+    return SpatialDataset(
+        values=rng.random((20, 5)),
+        n_spatial=2,
+        name="demo",
+        labels=rng.integers(0, 3, size=20),
+    )
+
+
+class TestSpatialDataset:
+    def test_shapes(self, dataset):
+        assert dataset.n_rows == 20
+        assert dataset.n_cols == 5
+        assert dataset.spatial.shape == (20, 2)
+        assert dataset.attributes.shape == (20, 3)
+
+    def test_column_index_helpers(self, dataset):
+        assert dataset.spatial_columns == (0, 1)
+        assert dataset.attribute_columns == (2, 3, 4)
+
+    def test_default_column_names(self, dataset):
+        assert dataset.column_names == ("si_0", "si_1", "attr_0", "attr_1", "attr_2")
+
+    def test_custom_column_names_length_checked(self, rng):
+        with pytest.raises(ValidationError, match="column_names"):
+            SpatialDataset(
+                values=rng.random((5, 3)), n_spatial=2, column_names=("a", "b")
+            )
+
+    def test_labels_length_checked(self, rng):
+        with pytest.raises(ValidationError, match="labels"):
+            SpatialDataset(
+                values=rng.random((5, 3)), n_spatial=2, labels=np.zeros(4, dtype=int)
+            )
+
+    def test_values_immutable(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.values[0, 0] = 99.0
+
+    def test_n_spatial_must_leave_attributes(self, rng):
+        with pytest.raises(ValidationError):
+            SpatialDataset(values=rng.random((5, 2)), n_spatial=2)
+
+    def test_subsample(self, dataset):
+        sub = dataset.subsample(7, random_state=0)
+        assert sub.n_rows == 7
+        assert sub.labels is not None and sub.labels.shape == (7,)
+        assert sub.column_names == dataset.column_names
+
+    def test_subsample_too_large(self, dataset):
+        with pytest.raises(ValidationError, match="cannot subsample"):
+            dataset.subsample(100)
+
+    def test_subsample_rows_come_from_original(self, dataset):
+        sub = dataset.subsample(5, random_state=1)
+        original_rows = {tuple(row) for row in dataset.values}
+        for row in sub.values:
+            assert tuple(row) in original_rows
+
+    def test_with_values(self, dataset, rng):
+        replacement = rng.random((20, 5))
+        out = dataset.with_values(replacement)
+        assert np.allclose(out.values, replacement)
+        assert out.name == dataset.name
+
+    def test_with_values_shape_checked(self, dataset, rng):
+        with pytest.raises(ValidationError, match="shape"):
+            dataset.with_values(rng.random((3, 3)))

@@ -1,0 +1,39 @@
+"""Unit tests for the ablation regenerators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.ablations import (
+    ablation_clipping,
+    ablation_initialisation,
+    ablation_landmark_source,
+)
+
+
+class TestAblationLandmarkSource:
+    def test_all_sources_evaluated(self):
+        out = ablation_landmark_source(
+            sources=("kmeans", "random"), n_runs=1, fast=True
+        )
+        row = out["lake/smfl"]
+        assert set(row) == {"kmeans", "random"}
+        assert all(np.isfinite(v) and v > 0 for v in row.values())
+
+
+class TestAblationInitialisation:
+    def test_all_inits_evaluated(self):
+        out = ablation_initialisation(n_runs=1, fast=True)
+        row = out["lake/smfl"]
+        assert set(row) == {"landmark", "random", "nndsvd"}
+        assert all(v > 0 for v in row.values())
+
+
+class TestAblationClipping:
+    def test_modes_and_rates(self):
+        out = ablation_clipping(missing_rates=(0.1,), n_runs=1, fast=True)
+        assert set(out) == {"lake@10%"}
+        row = out["lake@10%"]
+        assert set(row) == {"clip", "no-clip"}
+        # Clipping can only shrink errors on normalised data.
+        assert row["clip"] <= row["no-clip"] + 1e-9

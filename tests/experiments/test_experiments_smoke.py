@@ -1,0 +1,105 @@
+"""Smoke tests for the table/figure regenerators on tiny settings.
+
+These verify shapes, labels and basic sanity (finite, positive values)
+without asserting the paper's orderings - the full-size orderings are
+exercised by the integration suite and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    figure_4a,
+    figure_4b,
+    figure_5,
+    figure_6,
+    figure_7,
+    figure_8,
+    figure_9,
+    table_iv,
+    table_vi,
+    table_vii,
+)
+from repro.experiments.tables import table_v
+
+FAST = dict(fast=True, n_runs=1)
+
+
+class TestTables:
+    def test_table_iv_shape(self):
+        out = table_iv(methods=("mean", "nmf"), datasets=("lake",), **FAST)
+        assert set(out) == {"lake"}
+        assert set(out["lake"]) == {"mean", "nmf"}
+        assert all(v > 0 for v in out["lake"].values())
+
+    def test_table_v_spatial_missing(self):
+        out = table_v(methods=("mean",), datasets=("lake",), **FAST)
+        assert out["lake"]["mean"] > 0
+
+    def test_table_vi_methods(self):
+        out = table_vi(datasets=("lake",), **FAST)
+        assert set(out["lake"]) == {"baran", "holoclean", "nmf", "smf", "smfl"}
+
+    def test_table_vii_rows(self):
+        out = table_vii(
+            datasets=("lake",), missing_rates=(0.1, 0.3), **FAST
+        )
+        assert set(out) == {"lake/nmf", "lake/smf", "lake/smfl"}
+        assert set(out["lake/nmf"]) == {"10%", "30%"}
+
+
+class TestFigures:
+    def test_figure_4a_series(self):
+        out = figure_4a(methods=("mean", "smfl"), n_runs=1, n_routes=5, fast=True)
+        assert set(out) == {"mean", "smfl"}
+        assert all(np.isfinite(v) for v in out.values())
+
+    def test_figure_4b_series(self):
+        out = figure_4b(methods=("nmf", "pca"), n_runs=1, fast=True)
+        assert set(out) == {"nmf", "pca"}
+        assert all(0 <= v <= 1 for v in out.values())
+
+    def test_figure_5_geometry(self):
+        out = figure_5(rank=4, seed=0, fast=True)
+        assert out["smfl_inside_fraction"] == 1.0
+        assert out["smfl_locations"].shape == (4, 2)
+        assert "smf_gd_locations" in out and "smf_multi_locations" in out
+
+    def test_figure_6_sweep(self):
+        out = figure_6(datasets=("lake",), lams=(0.01, 1.0), n_runs=1, fast=True)
+        assert set(out) == {"lake/smf", "lake/smfl"}
+        assert set(out["lake/smf"]) == {"0.01", "1.0"}
+
+    def test_figure_7_sweep(self):
+        out = figure_7(datasets=("lake",), ps=(1, 3), n_runs=1, fast=True)
+        assert set(out["lake/smfl"]) == {"1", "3"}
+
+    def test_figure_8_sweep(self):
+        out = figure_8(datasets=("lake",), ranks=(2, 4), n_runs=1, fast=True)
+        assert set(out["lake/smfl"]) == {"2.0", "4.0"}
+
+    def test_figure_9_timings_positive(self):
+        out = figure_9(
+            datasets=("lake",), row_counts=(120,),
+            methods=("softimpute", "smfl"), fast=True,
+        )
+        assert out["lake/smfl"]["120"] > 0
+        assert out["lake/softimpute"]["120"] > 0
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        captured = capsys.readouterr()
+        assert "table4" in captured.out
+
+    def test_unknown_experiment_raises(self):
+        from repro.exceptions import ValidationError
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(ValidationError):
+            main(["tableX"])

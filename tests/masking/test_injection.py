@@ -1,0 +1,129 @@
+"""Unit tests for the Section IV-A1 error-injection protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DegenerateDataError, ValidationError
+from repro.masking import ErrorSpec, MissingSpec, inject_errors, inject_missing
+
+
+@pytest.fixture
+def base_matrix(rng) -> np.ndarray:
+    return rng.random((50, 6))
+
+
+class TestMissingSpec:
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValidationError):
+            MissingSpec(missing_rate=0.0)
+
+    def test_rejects_full_rate(self):
+        with pytest.raises(ValidationError):
+            MissingSpec(missing_rate=1.0)
+
+
+class TestInjectMissing:
+    def test_rate_respected(self, base_matrix):
+        spec = MissingSpec(missing_rate=0.2, columns=(2, 3, 4, 5))
+        _, mask = inject_missing(base_matrix, spec, random_state=0)
+        eligible = 50 * 4
+        injected = mask.n_unobserved
+        assert abs(injected - 0.2 * eligible) <= max(4, 0.05 * eligible)
+
+    def test_only_target_columns_touched(self, base_matrix):
+        spec = MissingSpec(missing_rate=0.3, columns=(3,))
+        _, mask = inject_missing(base_matrix, spec, random_state=0)
+        untouched = np.delete(mask.observed, 3, axis=1)
+        assert untouched.all()
+
+    def test_injected_cells_zeroed(self, base_matrix):
+        spec = MissingSpec(missing_rate=0.2, columns=(2, 3))
+        x_missing, mask = inject_missing(base_matrix, spec, random_state=0)
+        rows, cols = mask.unobserved_indices()
+        assert (x_missing[rows, cols] == 0.0).all()
+        # Observed cells unchanged.
+        assert np.allclose(
+            np.where(mask.observed, x_missing, 0),
+            np.where(mask.observed, base_matrix, 0),
+        )
+
+    def test_protected_rows_untouched(self, base_matrix):
+        protect = (0, 1, 2, 3, 4)
+        spec = MissingSpec(missing_rate=0.4, columns=(2, 3), protect_rows=protect)
+        _, mask = inject_missing(base_matrix, spec, random_state=1)
+        assert mask.observed[list(protect)].all()
+
+    def test_every_column_keeps_an_observed_cell(self, rng):
+        x = rng.random((10, 3))
+        spec = MissingSpec(missing_rate=0.95)
+        _, mask = inject_missing(x, spec, random_state=0)
+        assert mask.observed.any(axis=0).all()
+
+    def test_deterministic(self, base_matrix):
+        spec = MissingSpec(missing_rate=0.2, columns=(2, 3))
+        _, m1 = inject_missing(base_matrix, spec, random_state=42)
+        _, m2 = inject_missing(base_matrix, spec, random_state=42)
+        assert np.array_equal(m1.observed, m2.observed)
+
+    def test_out_of_range_columns(self, base_matrix):
+        spec = MissingSpec(missing_rate=0.2, columns=(99,))
+        with pytest.raises(DegenerateDataError, match="out of range"):
+            inject_missing(base_matrix, spec, random_state=0)
+
+    def test_all_rows_protected(self, rng):
+        x = rng.random((3, 3))
+        spec = MissingSpec(missing_rate=0.5, protect_rows=(0, 1, 2))
+        with pytest.raises(DegenerateDataError, match="protected"):
+            inject_missing(x, spec, random_state=0)
+
+    def test_tiny_rate_rounds_to_zero(self, rng):
+        x = rng.random((4, 3))
+        spec = MissingSpec(missing_rate=0.01)
+        _, mask = inject_missing(x, spec, random_state=0)
+        assert mask.n_unobserved == 0
+
+    def test_input_not_mutated(self, base_matrix):
+        original = base_matrix.copy()
+        inject_missing(base_matrix, MissingSpec(missing_rate=0.3), random_state=0)
+        assert np.array_equal(base_matrix, original)
+
+
+class TestInjectErrors:
+    def test_corrupted_values_stay_in_domain(self, base_matrix):
+        spec = ErrorSpec(error_rate=0.2)
+        x_dirty, mask = inject_errors(base_matrix, spec, random_state=0)
+        rows, cols = mask.unobserved_indices()
+        for i, j in zip(rows, cols):
+            assert x_dirty[i, j] in base_matrix[:, j]
+
+    def test_corrupted_values_differ(self, base_matrix):
+        spec = ErrorSpec(error_rate=0.2)
+        x_dirty, mask = inject_errors(base_matrix, spec, random_state=0)
+        rows, cols = mask.unobserved_indices()
+        changed = sum(
+            x_dirty[i, j] != base_matrix[i, j] for i, j in zip(rows, cols)
+        )
+        # All continuous values are distinct, so every injected cell changes.
+        assert changed == len(rows)
+
+    def test_constant_column_stays_constant(self, rng):
+        x = np.column_stack([np.ones(20), rng.random(20)])
+        x_dirty, mask = inject_errors(x, ErrorSpec(error_rate=0.3), random_state=0)
+        assert (x_dirty[:, 0] == 1.0).all()
+
+    def test_clean_cells_unchanged(self, base_matrix):
+        x_dirty, mask = inject_errors(
+            base_matrix, ErrorSpec(error_rate=0.15), random_state=3
+        )
+        assert np.allclose(
+            np.where(mask.observed, x_dirty, 0),
+            np.where(mask.observed, base_matrix, 0),
+        )
+
+    def test_deterministic(self, base_matrix):
+        a, m1 = inject_errors(base_matrix, ErrorSpec(error_rate=0.1), random_state=9)
+        b, m2 = inject_errors(base_matrix, ErrorSpec(error_rate=0.1), random_state=9)
+        assert np.array_equal(a, b)
+        assert np.array_equal(m1.observed, m2.observed)

@@ -1,0 +1,138 @@
+"""Unit + property tests for ObservationMask (R_Omega, Formula 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.masking import ObservationMask, mask_from_missing_values
+
+
+@pytest.fixture
+def mask_3x2() -> ObservationMask:
+    return ObservationMask(np.array([[True, False], [True, True], [False, False]]))
+
+
+class TestObservationMaskBasics:
+    def test_counts(self, mask_3x2):
+        assert mask_3x2.n_observed == 3
+        assert mask_3x2.n_unobserved == 3
+        assert mask_3x2.observed_fraction == pytest.approx(0.5)
+
+    def test_indices_partition_cells(self, mask_3x2):
+        obs = set(zip(*mask_3x2.indices()))
+        unobs = set(zip(*mask_3x2.unobserved_indices()))
+        assert obs | unobs == {(i, j) for i in range(3) for j in range(2)}
+        assert obs & unobs == set()
+
+    def test_immutable(self, mask_3x2):
+        with pytest.raises(ValueError):
+            mask_3x2.observed[0, 0] = False
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            ObservationMask(np.array([True, False]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            ObservationMask(np.zeros((0, 2), dtype=bool))
+
+    def test_fully_observed_constructor(self):
+        mask = ObservationMask.fully_observed((2, 3))
+        assert mask.n_unobserved == 0
+
+    def test_with_observed_rows(self, mask_3x2):
+        assert mask_3x2.with_observed_rows().tolist() == [False, True, False]
+
+
+class TestProjection:
+    def test_project_zeroes_unobserved(self, mask_3x2):
+        x = np.arange(6, dtype=float).reshape(3, 2) + 1.0
+        out = mask_3x2.project(x)
+        assert out.tolist() == [[1.0, 0.0], [3.0, 4.0], [0.0, 0.0]]
+
+    def test_project_complement(self, mask_3x2):
+        x = np.arange(6, dtype=float).reshape(3, 2) + 1.0
+        out = mask_3x2.project_complement(x)
+        assert out.tolist() == [[0.0, 2.0], [0.0, 0.0], [5.0, 6.0]]
+
+    def test_projection_is_idempotent(self, mask_3x2, rng):
+        x = rng.random((3, 2))
+        once = mask_3x2.project(x)
+        assert np.allclose(mask_3x2.project(once), once)
+
+    def test_projections_sum_to_identity(self, mask_3x2, rng):
+        x = rng.random((3, 2))
+        assert np.allclose(
+            mask_3x2.project(x) + mask_3x2.project_complement(x), x
+        )
+
+    def test_project_handles_nan_at_unobserved(self, mask_3x2):
+        x = np.array([[1.0, np.nan], [1.0, 1.0], [np.nan, np.nan]])
+        out = mask_3x2.project(x)
+        assert np.isfinite(out).all()
+
+    def test_shape_mismatch(self, mask_3x2):
+        with pytest.raises(ValidationError, match="does not match"):
+            mask_3x2.project(np.zeros((2, 2)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_property_linearity(self, seed):
+        rng = np.random.default_rng(seed)
+        mask = ObservationMask(rng.random((4, 4)) > 0.5)
+        a, b = rng.random((4, 4)), rng.random((4, 4))
+        assert np.allclose(
+            mask.project(a + b), mask.project(a) + mask.project(b)
+        )
+
+
+class TestMerge:
+    def test_formula_8(self, mask_3x2):
+        x = np.full((3, 2), 1.0)
+        x_star = np.full((3, 2), 9.0)
+        out = mask_3x2.merge(x, x_star)
+        assert out.tolist() == [[1.0, 9.0], [1.0, 1.0], [9.0, 9.0]]
+
+    def test_merge_rejects_nan_result(self, mask_3x2):
+        x = np.full((3, 2), 1.0)
+        x_star = np.full((3, 2), np.nan)
+        with pytest.raises(ValidationError, match="NaN"):
+            mask_3x2.merge(x, x_star)
+
+    def test_merge_allows_nan_in_ignored_cells(self, mask_3x2):
+        x = np.array([[1.0, np.nan], [1.0, 1.0], [np.nan, np.nan]])
+        x_star = np.full((3, 2), 9.0)
+        out = mask_3x2.merge(x, x_star)
+        assert np.isfinite(out).all()
+
+
+class TestIntersect:
+    def test_and_semantics(self):
+        a = ObservationMask(np.array([[True, True], [False, True]]))
+        b = ObservationMask(np.array([[True, False], [False, True]]))
+        out = a.intersect(b)
+        assert out.observed.tolist() == [[True, False], [False, True]]
+
+    def test_shape_mismatch(self):
+        a = ObservationMask(np.ones((2, 2), dtype=bool))
+        b = ObservationMask(np.ones((3, 2), dtype=bool))
+        with pytest.raises(ValidationError):
+            a.intersect(b)
+
+
+class TestMaskFromMissingValues:
+    def test_nan_becomes_unobserved_zero(self):
+        x = np.array([[1.0, np.nan], [2.0, 3.0]])
+        filled, mask = mask_from_missing_values(x)
+        assert filled[0, 1] == 0.0
+        assert not mask.observed[0, 1]
+        assert mask.observed[1, 1]
+
+    def test_does_not_mutate_input(self):
+        x = np.array([[np.nan, 1.0]])
+        mask_from_missing_values(x)
+        assert np.isnan(x[0, 0])

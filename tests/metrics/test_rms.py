@@ -1,0 +1,77 @@
+"""Unit tests for the evaluation metrics (Section IV-A2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.masking import ObservationMask
+from repro.metrics import mae_over_mask, relative_error_over_mask, rms_over_mask
+
+
+@pytest.fixture
+def simple_case():
+    truth = np.array([[1.0, 2.0], [3.0, 4.0]])
+    estimate = np.array([[1.0, 2.5], [3.0, 3.0]])
+    # Cells (0,1) and (1,1) are the evaluated Psi set.
+    mask = ObservationMask(np.array([[True, False], [True, False]]))
+    return estimate, truth, mask
+
+
+class TestRmsOverMask:
+    def test_known_value(self, simple_case):
+        estimate, truth, mask = simple_case
+        expected = np.sqrt((0.5**2 + 1.0**2) / 2)
+        assert rms_over_mask(estimate, truth, mask) == pytest.approx(expected)
+
+    def test_observed_cells_ignored(self, simple_case):
+        estimate, truth, mask = simple_case
+        estimate = estimate.copy()
+        estimate[0, 0] = 999.0  # observed cell: must not matter
+        expected = np.sqrt((0.5**2 + 1.0**2) / 2)
+        assert rms_over_mask(estimate, truth, mask) == pytest.approx(expected)
+
+    def test_zero_for_perfect(self, rng):
+        truth = rng.random((5, 4))
+        mask = ObservationMask(rng.random((5, 4)) > 0.5)
+        assert rms_over_mask(truth, truth, mask) == 0.0
+
+    def test_empty_psi_rejected(self, rng):
+        truth = rng.random((3, 3))
+        mask = ObservationMask.fully_observed((3, 3))
+        with pytest.raises(ValidationError, match="nothing to evaluate"):
+            rms_over_mask(truth, truth, mask)
+
+    def test_shape_mismatch(self, rng):
+        mask = ObservationMask(np.zeros((2, 2), dtype=bool))
+        with pytest.raises(ValidationError):
+            rms_over_mask(rng.random((2, 2)), rng.random((3, 3)), mask)
+
+
+class TestMaeOverMask:
+    def test_known_value(self, simple_case):
+        estimate, truth, mask = simple_case
+        assert mae_over_mask(estimate, truth, mask) == pytest.approx(0.75)
+
+    def test_mae_leq_rms(self, rng):
+        truth = rng.random((10, 5))
+        estimate = truth + rng.normal(scale=0.1, size=(10, 5))
+        mask = ObservationMask(rng.random((10, 5)) > 0.5)
+        assert mae_over_mask(estimate, truth, mask) <= rms_over_mask(
+            estimate, truth, mask
+        ) + 1e-12
+
+
+class TestRelativeError:
+    def test_known_value(self, simple_case):
+        estimate, truth, mask = simple_case
+        expected = 0.5 * (0.5 / 2.0 + 1.0 / 4.0)
+        assert relative_error_over_mask(estimate, truth, mask) == pytest.approx(expected)
+
+    def test_floor_guards_zero_truth(self):
+        truth = np.array([[0.0, 1.0]])
+        estimate = np.array([[0.5, 1.0]])
+        mask = ObservationMask(np.array([[False, True]]))
+        value = relative_error_over_mask(estimate, truth, mask, floor=0.1)
+        assert value == pytest.approx(5.0)

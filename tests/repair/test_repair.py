@@ -1,0 +1,133 @@
+"""Unit tests for the repair substrate (detection, HoloClean, Baran,
+MF-based repair)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SMFL
+from repro.exceptions import ValidationError
+from repro.masking import ErrorSpec, ObservationMask, inject_errors
+from repro.metrics import rms_over_mask
+from repro.repair import (
+    BaranRepairer,
+    HoloCleanRepairer,
+    MFRepairer,
+    OracleDetector,
+    StatisticalDetector,
+)
+
+
+@pytest.fixture
+def dirty_problem(tiny_dataset):
+    x_dirty, mask = inject_errors(
+        tiny_dataset.values, ErrorSpec(error_rate=0.1), random_state=0
+    )
+    return tiny_dataset.values, x_dirty, mask
+
+
+class TestOracleDetector:
+    def test_returns_stored_mask(self, dirty_problem):
+        _, x_dirty, mask = dirty_problem
+        detector = OracleDetector(mask)
+        assert detector.detect(x_dirty) is mask
+
+
+class TestStatisticalDetector:
+    def test_flags_gross_outliers(self, rng):
+        x = rng.normal(size=(100, 3))
+        x[5, 1] = 50.0
+        detected = StatisticalDetector(threshold=3.5).detect(x)
+        assert not detected.observed[5, 1]
+
+    def test_clean_data_mostly_unflagged(self, rng):
+        x = rng.normal(size=(200, 3))
+        detected = StatisticalDetector(threshold=6.0).detect(x)
+        assert detected.observed.mean() > 0.99
+
+    def test_constant_column_never_flagged(self, rng):
+        x = np.column_stack([np.ones(50), rng.normal(size=50)])
+        detected = StatisticalDetector().detect(x)
+        assert detected.observed[:, 0].all()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValidationError):
+            StatisticalDetector(threshold=0.0)
+
+
+class TestHoloCleanRepairer:
+    def test_clean_cells_untouched(self, dirty_problem):
+        _, x_dirty, mask = dirty_problem
+        fixed = HoloCleanRepairer().repair(x_dirty, mask)
+        assert np.allclose(fixed[mask.observed], x_dirty[mask.observed])
+
+    def test_improves_over_dirty(self, dirty_problem):
+        truth, x_dirty, mask = dirty_problem
+        fixed = HoloCleanRepairer().repair(x_dirty, mask)
+        assert rms_over_mask(fixed, truth, mask) < rms_over_mask(x_dirty, truth, mask)
+
+    def test_no_dirty_cells_is_identity(self, rng):
+        x = rng.random((10, 3))
+        mask = ObservationMask.fully_observed(x.shape)
+        fixed = HoloCleanRepairer().repair(x, mask)
+        assert np.allclose(fixed, x)
+
+    def test_repairs_within_column_range(self, dirty_problem):
+        _, x_dirty, mask = dirty_problem
+        fixed = HoloCleanRepairer().repair(x_dirty, mask)
+        rows, cols = mask.unobserved_indices()
+        for i, j in zip(rows, cols):
+            col = x_dirty[mask.observed[:, j], j]
+            assert col.min() - 1e-9 <= fixed[i, j] <= col.max() + 1e-9
+
+
+class TestBaranRepairer:
+    def test_clean_cells_untouched(self, dirty_problem):
+        _, x_dirty, mask = dirty_problem
+        fixed = BaranRepairer(random_state=0).repair(x_dirty, mask)
+        assert np.allclose(fixed[mask.observed], x_dirty[mask.observed])
+
+    def test_improves_over_dirty(self, dirty_problem):
+        truth, x_dirty, mask = dirty_problem
+        fixed = BaranRepairer(random_state=0).repair(x_dirty, mask)
+        assert rms_over_mask(fixed, truth, mask) < rms_over_mask(x_dirty, truth, mask)
+
+    def test_deterministic(self, dirty_problem):
+        _, x_dirty, mask = dirty_problem
+        a = BaranRepairer(random_state=5).repair(x_dirty, mask)
+        b = BaranRepairer(random_state=5).repair(x_dirty, mask)
+        assert np.allclose(a, b)
+
+    def test_no_dirty_cells_is_identity(self, rng):
+        x = rng.random((10, 3))
+        mask = ObservationMask.fully_observed(x.shape)
+        assert np.allclose(BaranRepairer().repair(x, mask), x)
+
+
+class TestMFRepairer:
+    def test_requires_fit_impute(self):
+        with pytest.raises(TypeError, match="fit_impute"):
+            MFRepairer(object())
+
+    def test_smfl_repair_improves_substantially(self, dirty_problem):
+        # The Table VI ordering (SMFL < HoloClean/Baran) is exercised at
+        # experiment scale in the integration suite; here, on the tiny
+        # fixture, assert a solid improvement over the dirty matrix.
+        truth, x_dirty, mask = dirty_problem
+        smfl = MFRepairer(SMFL(rank=4, n_spatial=2, random_state=0))
+        fixed_mf = smfl.repair(x_dirty, mask)
+        assert (
+            rms_over_mask(fixed_mf, truth, mask)
+            < 0.6 * rms_over_mask(x_dirty, truth, mask)
+        )
+
+    def test_dirty_values_not_seen_by_model(self, dirty_problem):
+        # The repairer must zero dirty cells before fitting; verify the
+        # output does not simply echo the dirty values.
+        truth, x_dirty, mask = dirty_problem
+        smfl = MFRepairer(SMFL(rank=4, n_spatial=2, random_state=0, max_iter=60))
+        fixed = smfl.repair(x_dirty, mask)
+        rows, cols = mask.unobserved_indices()
+        echoed = np.isclose(fixed[rows, cols], x_dirty[rows, cols]).mean()
+        assert echoed < 0.2

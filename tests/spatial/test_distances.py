@@ -1,0 +1,79 @@
+"""Unit tests for repro.spatial.distances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.spatial import euclidean_distances, haversine_distances, pairwise_sq_euclidean
+
+
+class TestPairwiseSqEuclidean:
+    def test_matches_naive(self, rng):
+        a = rng.random((8, 3))
+        b = rng.random((5, 3))
+        out = pairwise_sq_euclidean(a, b)
+        naive = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(out, naive)
+
+    def test_self_distances_zero_diagonal(self, rng):
+        a = rng.random((6, 2))
+        out = pairwise_sq_euclidean(a)
+        assert np.allclose(np.diag(out), 0.0)
+
+    def test_never_negative(self, rng):
+        # Cancellation-prone: nearly identical large-magnitude points.
+        a = 1e8 + rng.random((10, 2)) * 1e-6
+        out = pairwise_sq_euclidean(a)
+        assert (out >= 0.0).all()
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValidationError, match="dimension mismatch"):
+            pairwise_sq_euclidean(rng.random((3, 2)), rng.random((3, 3)))
+
+    def test_symmetry(self, rng):
+        a = rng.random((7, 4))
+        out = pairwise_sq_euclidean(a)
+        assert np.allclose(out, out.T)
+
+
+class TestEuclideanDistances:
+    def test_known_values(self):
+        a = np.array([[0.0, 0.0], [3.0, 4.0]])
+        out = euclidean_distances(a)
+        assert out[0, 1] == pytest.approx(5.0)
+
+    def test_triangle_inequality(self, rng):
+        pts = rng.random((10, 3))
+        d = euclidean_distances(pts)
+        for i in range(10):
+            for j in range(10):
+                for k in range(10):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+
+class TestHaversineDistances:
+    def test_zero_for_same_point(self):
+        coords = np.array([[40.0, -70.0]])
+        assert haversine_distances(coords)[0, 0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_equator_degree(self):
+        # One degree of longitude at the equator is ~111.19 km.
+        coords = np.array([[0.0, 0.0], [0.0, 1.0]])
+        out = haversine_distances(coords)
+        assert out[0, 1] == pytest.approx(111.19, rel=0.01)
+
+    def test_antipodal(self):
+        coords = np.array([[0.0, 0.0], [0.0, 180.0]])
+        out = haversine_distances(coords)
+        assert out[0, 1] == pytest.approx(np.pi * 6371.0088, rel=0.001)
+
+    def test_requires_two_columns(self):
+        with pytest.raises(ValidationError, match="2 columns"):
+            haversine_distances(np.zeros((2, 3)))
+
+    def test_symmetry(self, rng):
+        coords = rng.uniform(-80, 80, size=(6, 2))
+        out = haversine_distances(coords)
+        assert np.allclose(out, out.T, atol=1e-9)

@@ -1,0 +1,81 @@
+"""Unit + property tests for the KD-tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DegenerateDataError
+from repro.spatial import KDTree
+from repro.spatial.distances import pairwise_sq_euclidean
+
+
+def brute_force_knn(points: np.ndarray, queries: np.ndarray, k: int):
+    d2 = pairwise_sq_euclidean(queries, points)
+    idx = np.argsort(d2, axis=1, kind="stable")[:, :k]
+    dist = np.sqrt(np.take_along_axis(d2, idx, axis=1))
+    return dist, idx
+
+
+class TestKDTreeBasics:
+    def test_single_nearest(self):
+        tree = KDTree(np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]))
+        dist, idx = tree.query(np.array([[0.9, 1.05]]), k=1)
+        assert idx[0, 0] == 1
+        assert dist[0, 0] == pytest.approx(np.hypot(0.1, 0.05))
+
+    def test_k_larger_than_points_raises(self):
+        tree = KDTree(np.zeros((3, 2)))
+        with pytest.raises(DegenerateDataError, match="k=4"):
+            tree.query(np.zeros((1, 2)), k=4)
+
+    def test_dim_mismatch_raises(self):
+        tree = KDTree(np.zeros((3, 2)))
+        with pytest.raises(DegenerateDataError, match="dimensionality"):
+            tree.query(np.zeros((1, 3)), k=1)
+
+    def test_duplicate_points_handled(self):
+        pts = np.array([[1.0, 1.0]] * 40 + [[2.0, 2.0]] * 5)
+        tree = KDTree(pts, leaf_size=4)
+        dist, idx = tree.query(np.array([[1.0, 1.0]]), k=3)
+        assert np.allclose(dist, 0.0)
+
+    def test_properties(self):
+        tree = KDTree(np.zeros((7, 3)))
+        assert tree.n_points == 7
+        assert tree.n_dims == 3
+
+    def test_distances_sorted(self, rng):
+        pts = rng.random((50, 2))
+        tree = KDTree(pts)
+        dist, _ = tree.query(rng.random((5, 2)), k=10)
+        assert (np.diff(dist, axis=1) >= -1e-12).all()
+
+
+class TestKDTreeAgainstBruteForce:
+    @pytest.mark.parametrize("n,d,k", [(30, 2, 1), (100, 2, 5), (64, 3, 7), (200, 4, 3)])
+    def test_matches_brute_force(self, rng, n, d, k):
+        pts = rng.random((n, d))
+        queries = rng.random((10, d))
+        tree = KDTree(pts, leaf_size=8)
+        dist_t, _ = tree.query(queries, k=k)
+        dist_b, _ = brute_force_knn(pts, queries, k)
+        # Indices may differ on exact ties; distances must agree.
+        assert np.allclose(np.sort(dist_t, axis=1), np.sort(dist_b, axis=1))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(5, 60),
+        k=st.integers(1, 5),
+    )
+    def test_property_distances_match_brute(self, seed, n, k):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((n, 2))
+        queries = rng.random((3, 2))
+        tree = KDTree(pts, leaf_size=4)
+        dist_t, _ = tree.query(queries, k=min(k, n))
+        dist_b, _ = brute_force_knn(pts, queries, min(k, n))
+        assert np.allclose(dist_t, dist_b)

@@ -1,0 +1,78 @@
+"""Unit + property tests for the degree matrix and graph Laplacian."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.spatial import (
+    degree_matrix,
+    graph_laplacian,
+    knn_similarity_matrix,
+    laplacian_from_points,
+)
+
+
+class TestDegreeMatrix:
+    def test_diagonal_row_sums(self):
+        sim = np.array([[0.0, 1.0], [1.0, 0.0]])
+        deg = degree_matrix(sim)
+        assert np.allclose(deg, np.eye(2))
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValidationError, match="symmetric"):
+            degree_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            degree_matrix(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError, match="square"):
+            degree_matrix(np.zeros((2, 3)))
+
+
+class TestGraphLaplacian:
+    def test_zero_row_sums(self, rng):
+        sim = knn_similarity_matrix(rng.random((20, 2)), 3)
+        lap = graph_laplacian(sim)
+        assert np.allclose(lap.sum(axis=1), 0.0)
+
+    def test_positive_semidefinite(self, rng):
+        sim = knn_similarity_matrix(rng.random((20, 2)), 3)
+        lap = graph_laplacian(sim)
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert eigenvalues.min() >= -1e-9
+
+    def test_quadratic_form_equals_pairwise_sum(self, rng):
+        sim = knn_similarity_matrix(rng.random((12, 2)), 2)
+        lap = graph_laplacian(sim)
+        u = rng.random((12, 3))
+        quad = float(np.sum(u * (lap @ u)))
+        pairwise = 0.5 * sum(
+            sim[i, j] * np.sum((u[i] - u[j]) ** 2)
+            for i in range(12)
+            for j in range(12)
+        )
+        assert quad == pytest.approx(pairwise, rel=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(5, 30), p=st.integers(1, 4))
+    def test_property_psd_and_zero_rowsum(self, seed, n, p):
+        rng = np.random.default_rng(seed)
+        p = min(p, n - 1)
+        sim = knn_similarity_matrix(rng.random((n, 2)), p)
+        lap = graph_laplacian(sim)
+        assert np.allclose(lap.sum(axis=1), 0.0, atol=1e-9)
+        assert np.linalg.eigvalsh(lap).min() >= -1e-8
+
+
+class TestLaplacianFromPoints:
+    def test_consistency(self, rng):
+        pts = rng.random((15, 2))
+        sim, deg, lap = laplacian_from_points(pts, 3)
+        assert np.allclose(lap, deg - sim)
+        assert np.allclose(np.diag(deg), sim.sum(axis=1))

@@ -1,0 +1,56 @@
+"""Unit tests for p-nearest-neighbour search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DegenerateDataError
+from repro.spatial import knn_indices
+
+
+class TestKnnIndices:
+    def test_line_neighbours(self):
+        pts = np.array([[0.0], [1.0], [2.0], [10.0]]).reshape(4, 1)
+        out = knn_indices(pts, 1)
+        assert out[0, 0] == 1
+        assert out[1, 0] in (0, 2)
+        assert out[3, 0] == 2
+
+    def test_excludes_self(self, rng):
+        pts = rng.random((20, 2))
+        out = knn_indices(pts, 3)
+        for i in range(20):
+            assert i not in out[i]
+
+    def test_p_too_large(self):
+        with pytest.raises(DegenerateDataError, match="p=5"):
+            knn_indices(np.zeros((4, 2)), 5)
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValueError, match="unknown method"):
+            knn_indices(rng.random((5, 2)), 1, method="magic")
+
+    def test_brute_and_kdtree_agree_on_distances(self, rng):
+        pts = rng.random((60, 2))
+        brute = knn_indices(pts, 4, method="brute")
+        tree = knn_indices(pts, 4, method="kdtree")
+        # Distances must agree even if tie-broken indices differ.
+        for i in range(60):
+            d_b = np.sort(np.linalg.norm(pts[brute[i]] - pts[i], axis=1))
+            d_t = np.sort(np.linalg.norm(pts[tree[i]] - pts[i], axis=1))
+            assert np.allclose(d_b, d_t)
+
+    def test_duplicate_points(self):
+        pts = np.array([[1.0, 1.0]] * 5 + [[2.0, 2.0]] * 5)
+        out = knn_indices(pts, 3, method="kdtree")
+        assert out.shape == (10, 3)
+        for i in range(10):
+            assert i not in out[i]
+
+    def test_ordered_by_distance(self, rng):
+        pts = rng.random((30, 3))
+        out = knn_indices(pts, 5)
+        for i in range(30):
+            dists = np.linalg.norm(pts[out[i]] - pts[i], axis=1)
+            assert (np.diff(dists) >= -1e-12).all()

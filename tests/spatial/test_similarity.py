@@ -1,0 +1,65 @@
+"""Unit tests for the Formula 3 similarity matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DegenerateDataError
+from repro.spatial import knn_similarity_matrix, prepare_spatial_coordinates
+
+
+class TestPrepareSpatialCoordinates:
+    def test_passthrough_when_complete(self, rng):
+        coords = rng.random((10, 2))
+        out = prepare_spatial_coordinates(coords)
+        assert np.allclose(out, coords)
+
+    def test_nan_filled_with_column_mean(self):
+        coords = np.array([[1.0, 0.0], [3.0, 0.0], [np.nan, 0.0]])
+        out = prepare_spatial_coordinates(coords)
+        assert out[2, 0] == pytest.approx(2.0)
+
+    def test_explicit_mask_overrides_values(self):
+        coords = np.array([[1.0, 0.0], [3.0, 0.0], [99.0, 0.0]])
+        observed = np.array([[True, True], [True, True], [False, True]])
+        out = prepare_spatial_coordinates(coords, observed)
+        assert out[2, 0] == pytest.approx(2.0)
+
+    def test_all_missing_column_raises(self):
+        coords = np.array([[np.nan, 1.0], [np.nan, 2.0]])
+        with pytest.raises(DegenerateDataError, match="no observed entries"):
+            prepare_spatial_coordinates(coords)
+
+    def test_does_not_mutate_input(self):
+        coords = np.array([[1.0, 0.0], [np.nan, 0.0]])
+        prepare_spatial_coordinates(coords)
+        assert np.isnan(coords[1, 0])
+
+
+class TestKnnSimilarityMatrix:
+    def test_binary_symmetric_zero_diagonal(self, rng):
+        coords = rng.random((25, 2))
+        sim = knn_similarity_matrix(coords, 3)
+        assert set(np.unique(sim)) <= {0.0, 1.0}
+        assert np.allclose(sim, sim.T)
+        assert np.allclose(np.diag(sim), 0.0)
+
+    def test_each_row_has_at_least_p_links(self, rng):
+        coords = rng.random((25, 2))
+        sim = knn_similarity_matrix(coords, 3)
+        assert (sim.sum(axis=1) >= 3).all()
+
+    def test_or_semantics(self):
+        # Point 2 is far; its p=1 neighbour is point 1, so d_{12}=1 even
+        # though point 1's nearest is point 0.
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 0.0]])
+        sim = knn_similarity_matrix(coords, 1)
+        assert sim[1, 2] == 1.0
+        assert sim[2, 1] == 1.0
+
+    def test_handles_missing_spatial_cells(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [np.nan, 0.0], [3.0, 0.0]])
+        sim = knn_similarity_matrix(coords, 1)
+        assert sim.shape == (4, 4)
+        assert np.allclose(sim, sim.T)

@@ -1,0 +1,42 @@
+"""Unit tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ConvergenceWarning,
+    DegenerateDataError,
+    NotFittedError,
+    ReproError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (ValidationError, NotFittedError, DegenerateDataError):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        # Callers can catch ValueError without importing repro types.
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(DegenerateDataError, ValueError)
+
+    def test_not_fitted_is_runtime_error(self):
+        assert issubclass(NotFittedError, RuntimeError)
+
+    def test_convergence_warning_is_user_warning(self):
+        assert issubclass(ConvergenceWarning, UserWarning)
+
+    def test_catching_repro_error_covers_library_failures(self):
+        from repro.data import load_dataset
+
+        with pytest.raises(ReproError):
+            load_dataset("not-a-dataset")
+
+    def test_catching_value_error_covers_validation(self):
+        from repro.validation import as_matrix
+
+        with pytest.raises(ValueError):
+            as_matrix([1, 2, 3])  # 1-D input

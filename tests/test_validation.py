@@ -1,0 +1,198 @@
+"""Unit tests for repro.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.validation import (
+    as_matrix,
+    as_vector,
+    check_finite,
+    check_in_range,
+    check_mask,
+    check_nonnegative,
+    check_positive_int,
+    check_rank,
+    check_spatial_columns,
+    resolve_rng,
+)
+
+
+class TestAsMatrix:
+    def test_accepts_list_of_lists(self):
+        out = as_matrix([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            as_matrix([1.0, 2.0])
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            as_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            as_matrix(np.zeros((0, 3)))
+
+    def test_rejects_nan_by_default(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            as_matrix([[1.0, np.nan]])
+
+    def test_allow_nan_passes_nan(self):
+        out = as_matrix([[1.0, np.nan]], allow_nan=True)
+        assert np.isnan(out[0, 1])
+
+    def test_allow_nan_still_rejects_inf(self):
+        with pytest.raises(ValidationError, match="infinite"):
+            as_matrix([[1.0, np.inf]], allow_nan=True)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError, match="not convertible"):
+            as_matrix([["a", "b"]])
+
+    def test_copy_flag_returns_independent_array(self):
+        src = np.ones((2, 2))
+        out = as_matrix(src, copy=True)
+        out[0, 0] = 5.0
+        assert src[0, 0] == 1.0
+
+    def test_no_copy_may_share_memory(self):
+        src = np.ones((2, 2))
+        out = as_matrix(src)
+        assert out is src or np.shares_memory(out, src)
+
+
+class TestAsVector:
+    def test_accepts_list(self):
+        out = as_vector([1, 2, 3])
+        assert out.shape == (3,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValidationError, match="1-dimensional"):
+            as_vector([[1, 2]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            as_vector([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            as_vector([1.0, np.nan])
+
+
+class TestCheckFinite:
+    def test_counts_bad_entries(self):
+        with pytest.raises(ValidationError, match="2 non-finite"):
+            check_finite(np.array([1.0, np.nan, np.inf]))
+
+    def test_passes_finite(self):
+        check_finite(np.array([1.0, 2.0]))
+
+
+class TestCheckNonnegative:
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            check_nonnegative(np.array([[1.0, -0.5]]))
+
+    def test_accepts_zero(self):
+        check_nonnegative(np.array([[0.0, 1.0]]))
+
+    def test_ignores_nan_cells(self):
+        check_nonnegative(np.array([[np.nan, 1.0]]))
+
+
+class TestCheckMask:
+    def test_accepts_bool(self):
+        out = check_mask(np.array([[True, False]]), (1, 2))
+        assert out.dtype == np.bool_
+
+    def test_accepts_01_ints(self):
+        out = check_mask(np.array([[1, 0]]), (1, 2))
+        assert out[0, 0] and not out[0, 1]
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ValidationError, match="0/1"):
+            check_mask(np.array([[2, 0]]), (1, 2))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValidationError, match="does not match"):
+            check_mask(np.array([[True]]), (2, 2))
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, name="x", low=0.0, high=1.0) == 0.0
+        assert check_in_range(1.0, name="x", low=0.0, high=1.0) == 1.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValidationError, match="> 0"):
+            check_in_range(0.0, name="x", low=0.0, low_inclusive=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValidationError, match="< 1"):
+            check_in_range(1.0, name="x", high=1.0, high_inclusive=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_in_range(float("nan"), name="x")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValidationError, match="number"):
+            check_in_range("abc", name="x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(3), name="k") == 3
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check_positive_int(True, name="k")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check_positive_int(3.0, name="k")
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValidationError, match=">= 1"):
+            check_positive_int(0, name="k")
+
+
+class TestCheckRank:
+    def test_allows_rank_at_limit(self):
+        assert check_rank(3, 3, 5) == 3
+
+    def test_rejects_rank_above_limit(self):
+        with pytest.raises(ValidationError, match="exceeds"):
+            check_rank(6, 10, 5)
+
+
+class TestCheckSpatialColumns:
+    def test_accepts_valid(self):
+        assert check_spatial_columns(2, 7) == 2
+
+    def test_requires_remaining_column(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            check_spatial_columns(7, 7)
+
+
+class TestResolveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = resolve_rng(5).random()
+        b = resolve_rng(5).random()
+        assert a == b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert resolve_rng(gen) is gen
+
+    def test_rejects_strings(self):
+        with pytest.raises(ValidationError, match="random_state"):
+            resolve_rng("seed")
