@@ -10,7 +10,6 @@ full pipeline of each paper table/figure.  Run with::
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.data import load_dataset

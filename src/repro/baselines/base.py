@@ -28,15 +28,15 @@ def column_mean_fill(x: np.ndarray, observed: np.ndarray) -> np.ndarray:
     methods.
     """
     x = np.asarray(x, dtype=np.float64)
-    filled = x.copy()
-    total_sum = float(x[observed].sum()) if observed.any() else 0.0
-    total_cnt = int(observed.sum())
-    global_mean = total_sum / total_cnt if total_cnt else 0.0
-    for j in range(x.shape[1]):
-        col_obs = observed[:, j]
-        fill = float(x[col_obs, j].mean()) if col_obs.any() else global_mean
-        filled[~col_obs, j] = fill
-    return filled
+    masked = np.where(observed, x, 0.0)
+    col_sums = masked.sum(axis=0)
+    col_counts = observed.sum(axis=0)
+    total_cnt = int(col_counts.sum())
+    global_mean = float(col_sums.sum()) / total_cnt if total_cnt else 0.0
+    fills = np.where(
+        col_counts > 0, col_sums / np.maximum(col_counts, 1), global_mean
+    )
+    return np.where(observed, x, fills[None, :])
 
 
 class Imputer:
@@ -49,6 +49,10 @@ class Imputer:
 
     #: Short lower-case identifier used by the experiment harness.
     name: str = "imputer"
+
+    #: Engine telemetry of the last fit (:class:`repro.engine.FitReport`)
+    #: for iterative methods; stays ``None`` for one-shot imputers.
+    fit_report_ = None
 
     def fit_impute(self, x: np.ndarray, mask: object = None) -> np.ndarray:
         """Impute ``x``; NaN cells are unobserved when ``mask`` is omitted."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import IterativeEngine, Solver, Telemetry
 from ..exceptions import ValidationError
 from ..masking.mask import ObservationMask
 from ..validation import check_positive_int
@@ -18,6 +19,61 @@ from .base import Imputer, column_mean_fill
 from .linear import fit_weighted_ridge
 
 __all__ = ["IterativeImputer"]
+
+
+class _MICESolver(Solver):
+    """One round-robin pass over the incomplete columns; state is the
+    current estimate matrix."""
+
+    name = "iterative"
+
+    def __init__(
+        self,
+        x_observed: np.ndarray,
+        observed: np.ndarray,
+        *,
+        alpha: float,
+        tol: float,
+    ) -> None:
+        self.x_observed = x_observed
+        self.observed = observed
+        self.alpha = alpha
+        self.tol = tol
+        m = x_observed.shape[1]
+        self.incomplete_columns = [
+            j for j in range(m) if not observed[:, j].all()
+        ]
+        self.rel_change = float("inf")
+
+    def step(self, estimate: np.ndarray) -> np.ndarray:
+        estimate = estimate.copy()
+        previous = estimate.copy()
+        m = estimate.shape[1]
+        for j in self.incomplete_columns:
+            target_obs = self.observed[:, j]
+            if not target_obs.any():
+                continue
+            others = [c for c in range(m) if c != j]
+            features = estimate[:, others]
+            coef, intercept = fit_weighted_ridge(
+                features[target_obs],
+                self.x_observed[target_obs, j],
+                alpha=self.alpha,
+            )
+            estimate[~target_obs, j] = features[~target_obs] @ coef + intercept
+        change = float(np.linalg.norm(estimate - previous))
+        scale = float(np.linalg.norm(previous)) or 1.0
+        self.rel_change = change / scale
+        return estimate
+
+    def objective(self, state) -> float:
+        return self.rel_change
+
+    def converged(self, state, monitor) -> bool:
+        return self.rel_change < self.tol
+
+    def factors(self, state):
+        return {"estimate": state}
 
 
 class IterativeImputer(Imputer):
@@ -49,25 +105,11 @@ class IterativeImputer(Imputer):
     ) -> np.ndarray:
         observed = mask.observed
         estimate = column_mean_fill(x_observed, observed)
-        n, m = estimate.shape
-        incomplete_columns = [j for j in range(m) if not observed[:, j].all()]
-        for _ in range(self.max_rounds):
-            previous = estimate.copy()
-            for j in incomplete_columns:
-                target_obs = observed[:, j]
-                if not target_obs.any():
-                    continue
-                others = [c for c in range(m) if c != j]
-                features = estimate[:, others]
-                coef, intercept = fit_weighted_ridge(
-                    features[target_obs],
-                    x_observed[target_obs, j],
-                    alpha=self.alpha,
-                )
-                predictions = features[~target_obs] @ coef + intercept
-                estimate[~target_obs, j] = predictions
-            change = float(np.linalg.norm(estimate - previous))
-            scale = float(np.linalg.norm(previous)) or 1.0
-            if change / scale < self.tol:
-                break
-        return estimate
+        solver = _MICESolver(x_observed, observed, alpha=self.alpha, tol=self.tol)
+        telemetry = Telemetry(method=self.name, track_deltas=False)
+        engine = IterativeEngine(
+            max_iter=self.max_rounds, tol=0.0, callbacks=(telemetry,)
+        )
+        outcome = engine.run(solver, estimate)
+        self.fit_report_ = telemetry.report()
+        return outcome.state

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import IterativeEngine, Solver, Telemetry
 from ..exceptions import ValidationError
 from ..masking.mask import ObservationMask
 from ..validation import check_positive_int
@@ -27,6 +28,46 @@ def svd_shrink(matrix: np.ndarray, tau: float) -> tuple[np.ndarray, int]:
     shrunk = np.maximum(s - tau, 0.0)
     rank = int((shrunk > 0).sum())
     return (u[:, :rank] * shrunk[:rank]) @ vt[:rank], rank
+
+
+class _SVTSolver(Solver):
+    """One SVT iteration; state is ``(dual, estimate, residual_ratio)``."""
+
+    name = "mc"
+
+    def __init__(
+        self,
+        x_observed: np.ndarray,
+        observed: np.ndarray,
+        *,
+        tau: float,
+        delta: float,
+        tol: float,
+        norm_obs: float,
+    ) -> None:
+        self.x_observed = x_observed
+        self.observed = observed
+        self.tau = tau
+        self.delta = delta
+        self.tol = tol
+        self.norm_obs = norm_obs
+
+    def step(self, state):
+        dual, _, _ = state
+        estimate, _ = svd_shrink(dual, self.tau)
+        residual = np.where(self.observed, self.x_observed - estimate, 0.0)
+        dual = dual + self.delta * residual
+        ratio = float(np.linalg.norm(residual)) / self.norm_obs
+        return dual, estimate, ratio
+
+    def objective(self, state) -> float:
+        return state[2]
+
+    def converged(self, state, monitor) -> bool:
+        return state[2] < self.tol
+
+    def factors(self, state):
+        return {"estimate": state[1]}
 
 
 class MatrixCompletionImputer(Imputer):
@@ -75,12 +116,15 @@ class MatrixCompletionImputer(Imputer):
         delta = self.delta if self.delta is not None else min(1.2 * n * m / n_obs, 1.9)
         norm_obs = float(np.linalg.norm(x_observed)) or 1.0
 
+        solver = _SVTSolver(
+            x_observed, observed, tau=tau, delta=delta, tol=self.tol,
+            norm_obs=norm_obs,
+        )
+        telemetry = Telemetry(method=self.name, track_deltas=False)
+        engine = IterativeEngine(
+            max_iter=self.max_iter, tol=0.0, callbacks=(telemetry,)
+        )
         dual = delta * x_observed  # kick-started dual variable Y
-        estimate = np.zeros_like(x_observed)
-        for _ in range(self.max_iter):
-            estimate, _ = svd_shrink(dual, tau)
-            residual = np.where(observed, x_observed - estimate, 0.0)
-            dual = dual + delta * residual
-            if np.linalg.norm(residual) / norm_obs < self.tol:
-                break
-        return estimate
+        outcome = engine.run(solver, (dual, np.zeros_like(x_observed), np.inf))
+        self.fit_report_ = telemetry.report()
+        return outcome.state[1]

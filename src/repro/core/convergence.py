@@ -1,91 +1,14 @@
-"""Iteration control for the multiplicative/gradient solvers.
+"""Backward-compatible re-export of the engine's iteration control.
 
-The paper runs the updating rules for up to ``t1 = 500`` iterations and
-"stops early if it already converges" (Proposition 1 discussion).
-:class:`ConvergenceMonitor` implements that protocol: it records the
-objective after every iteration and declares convergence when the
-relative objective decrease falls below a tolerance.
+The :class:`ConvergenceMonitor` moved to :mod:`repro.engine.monitor`
+when the shared iteration engine was introduced — every iterative
+solver (models and baselines) now uses the same stopping policy.  This
+shim keeps ``from repro.core.convergence import ConvergenceMonitor``
+working.
 """
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field
-
-from ..exceptions import ConvergenceWarning
-from ..validation import check_in_range, check_positive_int
+from ..engine.monitor import DEFAULT_MAX_ITER, ConvergenceMonitor
 
 __all__ = ["ConvergenceMonitor", "DEFAULT_MAX_ITER"]
-
-DEFAULT_MAX_ITER = 500
-"""The paper's update-rule iteration budget ``t1`` (Section III-B)."""
-
-
-@dataclass
-class ConvergenceMonitor:
-    """Tracks an objective sequence and decides when to stop.
-
-    Parameters
-    ----------
-    max_iter:
-        Hard iteration budget (paper default 500).
-    tol:
-        Relative-decrease threshold: convergence is declared when
-        ``(prev - curr) / max(prev, eps) < tol``.
-    warn_on_budget:
-        Emit :class:`ConvergenceWarning` if the budget is exhausted
-        before the tolerance is met.
-
-    Usage
-    -----
-    >>> monitor = ConvergenceMonitor(max_iter=10, tol=1e-4)
-    >>> while monitor.keep_going():
-    ...     objective = 1.0 / (monitor.n_iter + 1)   # one solver step
-    ...     monitor.record(objective)
-    """
-
-    max_iter: int = DEFAULT_MAX_ITER
-    tol: float = 1e-5
-    warn_on_budget: bool = False
-
-    history: list[float] = field(default_factory=list, init=False, repr=False)
-    converged: bool = field(default=False, init=False)
-
-    def __post_init__(self) -> None:
-        self.max_iter = check_positive_int(self.max_iter, name="max_iter")
-        self.tol = check_in_range(self.tol, name="tol", low=0.0)
-
-    @property
-    def n_iter(self) -> int:
-        """Iterations recorded so far."""
-        return len(self.history)
-
-    def keep_going(self) -> bool:
-        """Whether the solver should run another iteration."""
-        if self.converged:
-            return False
-        if self.n_iter >= self.max_iter:
-            if self.warn_on_budget:
-                warnings.warn(
-                    f"iteration budget of {self.max_iter} exhausted without "
-                    f"meeting tol={self.tol}",
-                    ConvergenceWarning,
-                    stacklevel=2,
-                )
-            return False
-        return True
-
-    def record(self, objective: float) -> None:
-        """Record one iteration's objective and update the converged flag."""
-        objective = float(objective)
-        if self.history:
-            prev = self.history[-1]
-            denom = max(abs(prev), 1e-12)
-            if (prev - objective) / denom < self.tol:
-                self.converged = True
-        self.history.append(objective)
-
-    def reset(self) -> None:
-        """Clear history for a fresh solve."""
-        self.history = []
-        self.converged = False

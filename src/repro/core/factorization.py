@@ -1,22 +1,34 @@
 """Shared machinery for the masked factorization models.
 
-:class:`MatrixFactorizationBase` owns the fit loop common to NMF, SMF
-and SMFL: input validation, mask handling, factor initialisation,
-iteration control, and the fitted-state API (``reconstruct``,
-``impute``, ``fit_impute``).  Subclasses override three hooks:
+:class:`MatrixFactorizationBase` owns what is common to NMF, SMF and
+SMFL: input validation, mask handling, factor initialisation, and the
+fitted-state API (``reconstruct``, ``impute``, ``fit_impute``).  The
+iteration itself is delegated to :class:`repro.engine.IterativeEngine`,
+which drives a named update kernel (see :mod:`repro.engine.kernels`)
+and records per-iteration telemetry into a
+:class:`~repro.engine.FitReport`.  Subclasses override three hooks:
 
-- ``_prepare_fit``   - build per-model structures (graphs, landmarks);
+- ``_prepare_fit``     - build per-model structures (graphs, landmarks);
 - ``_initial_factors`` - produce (and possibly modify) U0, V0;
-- ``_step``          - run one update iteration;
-- ``_objective``     - the objective the convergence monitor tracks.
+- ``_kernel_context``  - the regularizers/masks the update kernel needs;
+- ``_objective``       - the objective the convergence monitor tracks.
+
+``_step`` remains overridable for models whose iteration is not a
+registered kernel, but the base implementation — look the kernel up by
+``update_rule`` and apply it — covers the whole NMF/SMF/SMFL family.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
 
 import numpy as np
 
+from ..engine.callbacks import Callback, Telemetry
+from ..engine.core import IterativeEngine
+from ..engine.kernels import KernelContext, available_kernels, get_kernel
+from ..engine.report import FactorizationResult, FitReport
+from ..engine.solver import Solver
 from ..exceptions import NotFittedError, ValidationError
 from ..masking.mask import ObservationMask, mask_from_missing_values
 from ..validation import (
@@ -27,7 +39,7 @@ from ..validation import (
     check_rank,
     resolve_rng,
 )
-from .convergence import DEFAULT_MAX_ITER, ConvergenceMonitor
+from .convergence import DEFAULT_MAX_ITER
 from .initialization import init_factors
 from .objective import masked_frobenius_sq
 
@@ -40,38 +52,50 @@ def _clip_columns_to_observed(
     """Clip each column of ``estimate`` to the [min, max] of the observed
     entries of the same column of ``x``; columns without observed
     entries pass through unchanged."""
-    estimate = estimate.copy()
-    for j in range(x.shape[1]):
-        col_observed = observed[:, j]
-        if not col_observed.any():
-            continue
-        col_vals = x[col_observed, j]
-        np.clip(estimate[:, j], float(col_vals.min()), float(col_vals.max()),
-                out=estimate[:, j])
-    return estimate
+    has_observed = observed.any(axis=0)
+    lows = np.where(observed, x, np.inf).min(axis=0)
+    highs = np.where(observed, x, -np.inf).max(axis=0)
+    lows = np.where(has_observed, lows, -np.inf)
+    highs = np.where(has_observed, highs, np.inf)
+    return np.clip(estimate, lows[None, :], highs[None, :])
 
 
 # Public alias: baselines reuse the same safeguard.
 clip_columns_to_observed = _clip_columns_to_observed
 
-UPDATE_RULES = ("multiplicative", "gradient")
-"""Update strategies of Section III-B."""
+UPDATE_RULES = available_kernels()
+"""Update strategies of Section III-B (the registered kernel names)."""
 
 
-@dataclass(frozen=True)
-class FactorizationResult:
-    """Summary of a completed fit, convenient for experiment logging."""
+class _FactorSolver(Solver):
+    """Adapter presenting a factorization model to the engine.
 
-    u: np.ndarray
-    v: np.ndarray
-    objective_history: tuple[float, ...]
-    n_iter: int
-    converged: bool
+    State is the ``(U, V)`` tuple; step/objective delegate to the
+    model's hooks so subclass overrides keep working unchanged.
+    """
 
-    @property
-    def final_objective(self) -> float:
-        """Objective value at the last recorded iteration."""
-        return self.objective_history[-1] if self.objective_history else float("nan")
+    def __init__(
+        self,
+        model: "MatrixFactorizationBase",
+        x_observed: np.ndarray,
+        observed: np.ndarray,
+    ) -> None:
+        self.model = model
+        self.x_observed = x_observed
+        self.observed = observed
+        self.name = model.method
+
+    def step(self, state: tuple[np.ndarray, np.ndarray]):
+        u, v = state
+        return self.model._step(self.x_observed, self.observed, u, v)
+
+    def objective(self, state: tuple[np.ndarray, np.ndarray]) -> float:
+        u, v = state
+        return self.model._objective(self.x_observed, u, v, self.observed)
+
+    def factors(self, state: tuple[np.ndarray, np.ndarray]):
+        u, v = state
+        return {"u": u, "v": v}
 
 
 class MatrixFactorizationBase:
@@ -86,8 +110,9 @@ class MatrixFactorizationBase:
     tol:
         Relative objective-decrease tolerance for early stopping.
     update_rule:
-        ``"multiplicative"`` (Formulas 13-14, paper default) or
-        ``"gradient"`` (Section III-B1).
+        Name of a registered update kernel: ``"multiplicative"``
+        (Formulas 13-14, paper default) or ``"gradient"``
+        (Section III-B1).
     learning_rate:
         Step size for the gradient rule (ignored by multiplicative).
     init:
@@ -107,6 +132,9 @@ class MatrixFactorizationBase:
         Seed or Generator.
     """
 
+    #: Telemetry identifier; subclasses set their Table IV name.
+    method: str = "mf"
+
     def __init__(
         self,
         rank: int,
@@ -123,9 +151,10 @@ class MatrixFactorizationBase:
         self.rank = check_positive_int(rank, name="rank")
         self.max_iter = check_positive_int(max_iter, name="max_iter")
         self.tol = check_in_range(tol, name="tol", low=0.0)
-        if update_rule not in UPDATE_RULES:
+        if update_rule not in available_kernels():
             raise ValidationError(
-                f"unknown update_rule {update_rule!r}; available: {UPDATE_RULES}"
+                f"unknown update_rule {update_rule!r}; "
+                f"available: {available_kernels()}"
             )
         self.update_rule = update_rule
         self.learning_rate = check_in_range(
@@ -141,8 +170,10 @@ class MatrixFactorizationBase:
         self.n_iter_: int = 0
         self.converged_: bool = False
         self.objective_history_: list[float] = []
+        self.fit_report_: FitReport | None = None
         self._fit_x: np.ndarray | None = None
         self._fit_mask: ObservationMask | None = None
+        self._ctx_cache: tuple[tuple[int, int], KernelContext] | None = None
 
     # ----------------------------------------------------------------- hooks
 
@@ -162,6 +193,33 @@ class MatrixFactorizationBase:
             x_observed, observed, self.rank, strategy=self.init, random_state=rng
         )
 
+    def _frozen_v_mask(self, v_shape: tuple[int, int]) -> np.ndarray | None:
+        """Landmark mask hook: cells of V the kernel must not update.
+
+        The base family freezes nothing; SMFL overrides this with the
+        landmark block Phi.
+        """
+        return None
+
+    def _kernel_context(self, v_shape: tuple[int, int]) -> KernelContext:
+        """Assemble the per-iteration context for the update kernel."""
+        return KernelContext(
+            learning_rate=self.learning_rate,
+            frozen_v=self._frozen_v_mask(v_shape),
+        )
+
+    def _cached_kernel_context(self, v_shape: tuple[int, int]) -> KernelContext:
+        """Per-fit memo of :meth:`_kernel_context`.
+
+        The context only references structures that are fixed for the
+        duration of one fit (graph operators, frozen mask, weights), so
+        it is built once per fit; ``fit`` invalidates the memo after
+        ``_prepare_fit`` rebuilds those structures.
+        """
+        if self._ctx_cache is None or self._ctx_cache[0] != v_shape:
+            self._ctx_cache = (v_shape, self._kernel_context(v_shape))
+        return self._ctx_cache[1]
+
     def _step(
         self,
         x_observed: np.ndarray,
@@ -169,8 +227,10 @@ class MatrixFactorizationBase:
         u: np.ndarray,
         v: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """One update iteration; must be overridden."""
-        raise NotImplementedError
+        """One update iteration: apply the named kernel."""
+        return get_kernel(self.update_rule).step(
+            x_observed, observed, u, v, self._cached_kernel_context(v.shape)
+        )
 
     def _objective(
         self,
@@ -184,7 +244,13 @@ class MatrixFactorizationBase:
 
     # ------------------------------------------------------------ public API
 
-    def fit(self, x: np.ndarray, mask: object = None) -> "MatrixFactorizationBase":
+    def fit(
+        self,
+        x: np.ndarray,
+        mask: object = None,
+        *,
+        callbacks: tuple[Callback, ...] = (),
+    ) -> "MatrixFactorizationBase":
         """Factorize ``x`` with unobserved cells excluded from the loss.
 
         Parameters
@@ -195,7 +261,12 @@ class MatrixFactorizationBase:
         mask:
             Optional :class:`ObservationMask` or boolean array
             (``True`` = observed).  Overrides NaN detection.
+        callbacks:
+            Extra engine callbacks run alongside the built-in
+            :class:`~repro.engine.Telemetry` (e.g. recorders for the
+            invariant tests).
         """
+        t_setup = time.perf_counter()
         x, observation = self._coerce_input(x, mask)
         check_rank(self.rank, x.shape[0], x.shape[1], name="rank")
         check_nonnegative(observation.project(x), name="observed entries of X")
@@ -204,20 +275,33 @@ class MatrixFactorizationBase:
         rng = resolve_rng(self.random_state)
 
         self._prepare_fit(x, x_observed, observation)
+        self._ctx_cache = None  # graph/landmark structures were rebuilt
         u, v = self._initial_factors(x_observed, observed, rng)
 
-        monitor = ConvergenceMonitor(max_iter=self.max_iter, tol=self.tol)
-        steps = 0
-        while steps < self.max_iter and not monitor.converged:
-            u, v = self._step(x_observed, observed, u, v)
-            steps += 1
-            if steps % self.eval_every == 0 or steps == self.max_iter:
-                monitor.record(self._objective(x_observed, u, v, observed))
+        frozen = self._frozen_v_mask(v.shape)
+        if frozen is not None and frozen.any():
+            telemetry = Telemetry(
+                method=self.method,
+                frozen_mask=frozen,
+                frozen_values=v[frozen].copy(),
+            )
+        else:
+            telemetry = Telemetry(method=self.method)
+        telemetry.setup_seconds = time.perf_counter() - t_setup
 
-        self.u_, self.v_ = u, v
-        self.n_iter_ = steps
-        self.converged_ = monitor.converged
-        self.objective_history_ = list(monitor.history)
+        engine = IterativeEngine(
+            max_iter=self.max_iter,
+            tol=self.tol,
+            eval_every=self.eval_every,
+            callbacks=(telemetry, *callbacks),
+        )
+        outcome = engine.run(_FactorSolver(self, x_observed, observed), (u, v))
+
+        self.u_, self.v_ = outcome.state
+        self.n_iter_ = outcome.n_iter
+        self.converged_ = outcome.converged
+        self.objective_history_ = list(outcome.objective_history)
+        self.fit_report_ = telemetry.report(u=self.u_.copy(), v=self.v_.copy())
         self._fit_x = x
         self._fit_mask = observation
         return self
@@ -248,17 +332,11 @@ class MatrixFactorizationBase:
         self.fit(x, mask)
         return self.impute()
 
-    def result(self) -> FactorizationResult:
-        """Fitted-state summary for logging."""
-        if self.u_ is None or self.v_ is None:
+    def result(self) -> FitReport:
+        """Fitted-state summary (a full :class:`FitReport`)."""
+        if self.fit_report_ is None:
             raise NotFittedError(f"{type(self).__name__}.result called before fit")
-        return FactorizationResult(
-            u=self.u_.copy(),
-            v=self.v_.copy(),
-            objective_history=tuple(self.objective_history_),
-            n_iter=self.n_iter_,
-            converged=self.converged_,
-        )
+        return self.fit_report_
 
     # ------------------------------------------------------------- internals
 

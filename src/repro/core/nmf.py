@@ -2,21 +2,14 @@
 
 The plain NMF competitor of the paper ([41] in its references): no
 spatial regularization, no landmarks, just the masked reconstruction
-objective ``||R_Omega(X - U V)||_F^2`` minimised by multiplicative
-updates (or projected gradient descent).
+objective ``||R_Omega(X - U V)||_F^2``.  The update strategy is
+whichever kernel ``update_rule`` names (multiplicative by default); the
+base class's engine-driven fit loop does the rest.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from .factorization import MatrixFactorizationBase
-from .updates import (
-    gradient_update_u,
-    gradient_update_v,
-    multiplicative_update_u,
-    multiplicative_update_v,
-)
 
 __all__ = ["MaskedNMF"]
 
@@ -36,21 +29,4 @@ class MaskedNMF(MatrixFactorizationBase):
     True
     """
 
-    def _step(
-        self,
-        x_observed: np.ndarray,
-        observed: np.ndarray,
-        u: np.ndarray,
-        v: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        if self.update_rule == "multiplicative":
-            u = multiplicative_update_u(x_observed, observed, u, v)
-            v = multiplicative_update_v(x_observed, observed, u, v)
-            return u, v
-        u = gradient_update_u(
-            x_observed, observed, u, v, learning_rate=self.learning_rate
-        )
-        v = gradient_update_v(
-            x_observed, observed, u, v, learning_rate=self.learning_rate
-        )
-        return u, v
+    method = "nmf"

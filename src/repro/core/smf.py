@@ -16,18 +16,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.kernels import KernelContext
 from ..exceptions import NotFittedError, ValidationError
 from ..masking.mask import ObservationMask
 from ..spatial.laplacian import laplacian_from_points
 from ..validation import check_in_range, check_positive_int, check_spatial_columns
 from .factorization import MatrixFactorizationBase
-from .objective import masked_frobenius_sq, smoothness_penalty
-from .updates import (
-    gradient_update_u,
-    gradient_update_v,
-    multiplicative_update_u,
-    multiplicative_update_v,
-)
+from .objective import masked_frobenius_sq
 
 __all__ = ["SMF"]
 
@@ -69,6 +64,8 @@ class SMF(MatrixFactorizationBase):
     laplacian_:
         ``L = W - D``.
     """
+
+    method = "smf"
 
     def __init__(
         self,
@@ -134,38 +131,20 @@ class SMF(MatrixFactorizationBase):
             value += self.lam * max(penalty, 0.0)
         return value
 
-    def _frozen_v_mask(self, v_shape: tuple[int, int]) -> np.ndarray | None:
-        """Landmark mask hook; plain SMF freezes nothing."""
-        return None
-
-    def _step(
-        self,
-        x_observed: np.ndarray,
-        observed: np.ndarray,
-        u: np.ndarray,
-        v: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        frozen_v = self._frozen_v_mask(v.shape)
-        if self.update_rule == "multiplicative":
-            if self.similarity_ is None or self.degree_ is None:
-                raise ValidationError("fit must prepare the spatial graph first")
-            u = multiplicative_update_u(
-                x_observed, observed, u, v,
-                lam=self.lam, similarity=self._similarity_op, degree=self.degree_,
-            )
-            v = multiplicative_update_v(x_observed, observed, u, v, frozen_v=frozen_v)
-            return u, v
-        if self.laplacian_ is None:
+    def _kernel_context(self, v_shape: tuple[int, int]) -> KernelContext:
+        if self.similarity_ is None or self.degree_ is None or self.laplacian_ is None:
             raise ValidationError("fit must prepare the spatial graph first")
-        u = gradient_update_u(
-            x_observed, observed, u, v,
-            learning_rate=self.learning_rate, lam=self.lam, laplacian=self.laplacian_,
+        # The multiplicative kernel consumes the sparse similarity view;
+        # the gradient kernel consumes the *dense* Laplacian (exactly
+        # the operators the pre-engine code used, preserving numerics).
+        return KernelContext(
+            lam=self.lam,
+            similarity=self._similarity_op,
+            degree=self.degree_,
+            laplacian=self.laplacian_,
+            learning_rate=self.learning_rate,
+            frozen_v=self._frozen_v_mask(v_shape),
         )
-        v = gradient_update_v(
-            x_observed, observed, u, v,
-            learning_rate=self.learning_rate, frozen_v=frozen_v,
-        )
-        return u, v
 
     def feature_locations(self) -> np.ndarray:
         """Learned feature locations: the first ``L`` columns of V.

@@ -61,6 +61,8 @@ class SMFL(SMF):
     True
     """
 
+    method = "smfl"
+
     def __init__(
         self,
         rank: int,

@@ -26,6 +26,7 @@ import numpy as np
 
 __all__ = [
     "EPSILON",
+    "frozen_column_prefix",
     "multiplicative_update_u",
     "multiplicative_update_v",
     "gradient_update_u",
@@ -34,6 +35,26 @@ __all__ = [
 
 EPSILON = 1e-12
 """Denominator guard for the multiplicative rules."""
+
+
+def frozen_column_prefix(frozen_v: np.ndarray | None) -> int | None:
+    """``L`` when ``frozen_v`` freezes exactly the first ``L`` whole
+    columns (the landmark layout, Definition 1), else ``None``.
+
+    Callers that keep the mask fixed across iterations (the engine's
+    kernel context) compute this once and pass ``frozen_prefix`` to
+    :func:`multiplicative_update_v`, keeping the structural analysis
+    out of the per-iteration path.
+    """
+    if frozen_v is None:
+        return None
+    frozen_cols = frozen_v.all(axis=0)
+    n = int(frozen_cols.sum())
+    if n == 0 or not frozen_cols[:n].all():
+        return None
+    if frozen_v[:, n:].any():
+        return None
+    return n
 
 
 def multiplicative_update_u(
@@ -89,23 +110,27 @@ def multiplicative_update_v(
     v: np.ndarray,
     *,
     frozen_v: np.ndarray | None = None,
+    frozen_prefix: int | None = None,
 ) -> np.ndarray:
     """One multiplicative step on V (Formula 14).
 
     ``frozen_v`` cells (the landmark set Phi) are carried over
     unchanged; all other cells receive the multiplicative factor.
 
-    When entire columns are frozen (the landmark layout: the first
-    ``L`` columns of V), the update is computed only for the live
-    columns - this is the Section IV-E computation saving that makes
-    SMFL's iterations cheaper than SMF's.
+    When the frozen cells are exactly the first ``L`` whole columns
+    (the landmark layout), the update is computed only for the live
+    column slice - this is the Section IV-E computation saving that
+    makes SMFL's iterations cheaper than SMF's.  ``frozen_prefix``
+    (see :func:`frozen_column_prefix`) lets callers with a fixed mask
+    pay the structural analysis once instead of per iteration.
     """
     if frozen_v is not None:
-        frozen_cols = frozen_v.all(axis=0)
-        if frozen_cols.any() and (frozen_v == frozen_cols[None, :]).all():
-            live = ~frozen_cols
-            if not live.any():
+        if frozen_prefix is None:
+            frozen_prefix = frozen_column_prefix(frozen_v)
+        if frozen_prefix is not None:
+            if frozen_prefix >= v.shape[1]:
                 return v.copy()
+            live = slice(frozen_prefix, None)
             v_live = v[:, live]
             recon_live = np.where(observed[:, live], u @ v_live, 0.0)
             numerator = u.T @ x_observed[:, live]

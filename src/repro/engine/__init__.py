@@ -1,0 +1,58 @@
+"""repro.engine: the instrumented iteration layer every solver shares.
+
+Architecture (see DESIGN.md section "Engine layer")::
+
+    Solver  --step/objective-->  IterativeEngine  --records-->  Callback*
+                                     |                             |
+                              ConvergenceMonitor              Telemetry
+                                                                  |
+                                                              FitReport
+
+- :class:`Solver` - one iteration of any method (``step``,
+  ``objective``, optional ``converged`` rule and ``factors`` exposure);
+- :class:`IterativeEngine` - owns the loop: budget, evaluation cadence,
+  early stopping, budget warnings, callback dispatch;
+- :class:`ConvergenceMonitor` - the default relative-decrease stopping
+  policy (never stops on an objective increase; counts them);
+- :class:`Callback` / :class:`Telemetry` - per-iteration observers;
+  Telemetry captures objectives, wall times, factor deltas, and
+  landmark-block invariance into a :class:`FitReport`;
+- :mod:`repro.engine.kernels` - named update kernels (multiplicative /
+  gradient) the factorization models select via ``update_rule``;
+- :mod:`repro.engine.timing` - telemetry-driven timing helpers and the
+  SMF-vs-SMFL micro-benchmark (Figure 9's per-iteration cost claim).
+
+``FitReport`` supersedes the seed repo's ``FactorizationResult``; the
+old name is an alias of the new class.
+"""
+
+from .callbacks import Callback, IterationRecord, Telemetry
+from .core import EngineOutcome, IterativeEngine
+from .kernels import (
+    KernelContext,
+    UpdateKernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+)
+from .monitor import DEFAULT_MAX_ITER, ConvergenceMonitor
+from .report import FactorizationResult, FitReport
+from .solver import Solver
+
+__all__ = [
+    "Callback",
+    "ConvergenceMonitor",
+    "DEFAULT_MAX_ITER",
+    "EngineOutcome",
+    "FactorizationResult",
+    "FitReport",
+    "IterationRecord",
+    "IterativeEngine",
+    "KernelContext",
+    "Solver",
+    "Telemetry",
+    "UpdateKernel",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+]

@@ -1,0 +1,165 @@
+"""Engine callbacks: per-iteration observers of a running fit.
+
+:class:`Callback` is the hook interface the engine drives;
+:class:`Telemetry` is the standard observer that turns a fit into a
+:class:`~repro.engine.report.FitReport` — per-iteration objectives,
+wall times, factor deltas, and landmark-block invariance.  Extra
+callbacks (recording, plotting, early diagnostics) ride along without
+the solver knowing they exist.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .monitor import ConvergenceMonitor
+from .report import FitReport
+from .solver import Solver
+
+__all__ = ["Callback", "IterationRecord", "Telemetry"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """What the engine hands every callback after each solver step.
+
+    ``objective`` is ``None`` on iterations where the engine skipped
+    evaluation (``eval_every > 1``).
+    """
+
+    iteration: int
+    objective: float | None
+    seconds: float
+    state: Any
+
+
+class Callback:
+    """No-op base class; override any subset of the hooks."""
+
+    def on_fit_start(self, solver: Solver, state: Any) -> None:
+        """Called once, before the first iteration."""
+
+    def on_iteration(self, solver: Solver, record: IterationRecord) -> None:
+        """Called after every solver step."""
+
+    def on_fit_end(
+        self, solver: Solver, state: Any, monitor: ConvergenceMonitor
+    ) -> None:
+        """Called once, after the loop stops (for any reason)."""
+
+
+class Telemetry(Callback):
+    """Capture per-iteration telemetry and build a :class:`FitReport`.
+
+    Parameters
+    ----------
+    method:
+        Identifier stamped into the report (defaults to the solver's
+        ``name``).
+    frozen_mask / frozen_values:
+        Optional landmark bookkeeping: a boolean mask over the tracked
+        ``"v"`` factor plus the values its frozen cells must keep.  When
+        provided, every iteration asserts the block is bit-identical;
+        the verdict lands in ``FitReport.landmark_block_intact``.
+    track_deltas:
+        Record the Frobenius norm of each tracked factor's change per
+        iteration (costs one copy of the factors per step).
+    """
+
+    def __init__(
+        self,
+        *,
+        method: str = "",
+        frozen_mask: np.ndarray | None = None,
+        frozen_values: np.ndarray | None = None,
+        track_deltas: bool = True,
+    ) -> None:
+        if (frozen_mask is None) != (frozen_values is None):
+            raise ValueError("frozen_mask and frozen_values must be given together")
+        self.method = method
+        self.frozen_mask = frozen_mask
+        self.frozen_values = frozen_values
+        self.track_deltas = track_deltas
+        self.setup_seconds: float = 0.0
+        self._reset()
+
+    def _reset(self) -> None:
+        self.wall_times: list[float] = []
+        self.objectives: list[float] = []
+        self.deltas: dict[str, list[float]] = {}
+        self.landmark_block_intact: bool | None = (
+            None if self.frozen_mask is None else True
+        )
+        self.n_iter: int = 0
+        self.converged: bool = False
+        self.n_increases: int = 0
+        self.loop_seconds: float = 0.0
+        self._prev_factors: dict[str, np.ndarray] = {}
+        self._t_start: float = 0.0
+
+    # ------------------------------------------------------------- hooks
+
+    def on_fit_start(self, solver: Solver, state: Any) -> None:
+        self._reset()
+        if not self.method:
+            self.method = solver.name
+        if self.track_deltas:
+            self._prev_factors = {
+                key: value.copy() for key, value in solver.factors(state).items()
+            }
+        self._t_start = time.perf_counter()
+
+    def on_iteration(self, solver: Solver, record: IterationRecord) -> None:
+        self.wall_times.append(record.seconds)
+        if record.objective is not None:
+            self.objectives.append(record.objective)
+        factors = solver.factors(record.state)
+        if self.track_deltas and factors:
+            for key, value in factors.items():
+                prev = self._prev_factors.get(key)
+                delta = (
+                    float(np.linalg.norm(value - prev)) if prev is not None else 0.0
+                )
+                self.deltas.setdefault(key, []).append(delta)
+                self._prev_factors[key] = value.copy()
+        if self.frozen_mask is not None and "v" in factors:
+            block = factors["v"][self.frozen_mask]
+            if not np.array_equal(block, self.frozen_values):
+                self.landmark_block_intact = False
+
+    def on_fit_end(
+        self, solver: Solver, state: Any, monitor: ConvergenceMonitor
+    ) -> None:
+        self.loop_seconds = time.perf_counter() - self._t_start
+        self.n_iter = len(self.wall_times)
+        self.converged = monitor.converged
+        self.n_increases = monitor.n_increases
+
+    # ------------------------------------------------------------ report
+
+    def report(
+        self,
+        *,
+        u: np.ndarray | None = None,
+        v: np.ndarray | None = None,
+        converged: bool | None = None,
+    ) -> FitReport:
+        """Assemble the :class:`FitReport` for the finished fit."""
+        return FitReport(
+            u=u,
+            v=v,
+            objective_history=tuple(self.objectives),
+            n_iter=self.n_iter,
+            converged=self.converged if converged is None else converged,
+            wall_times=tuple(self.wall_times),
+            factor_deltas={k: tuple(d) for k, d in self.deltas.items()},
+            n_increases=self.n_increases,
+            landmark_block_intact=self.landmark_block_intact,
+            method=self.method,
+            setup_seconds=self.setup_seconds,
+            loop_seconds=self.loop_seconds,
+        )

@@ -1,0 +1,122 @@
+"""The iteration engine: one loop for every iterative solver in the repo.
+
+:class:`IterativeEngine` owns the concerns every solver used to
+reimplement privately — the iteration budget, objective evaluation
+cadence, early stopping (relative-decrease by default, solver-specific
+rules via :meth:`Solver.converged`), budget warnings, and callback
+dispatch.  Solvers shrink to a :meth:`step`/:meth:`objective` pair;
+telemetry and convergence policy become first-class and uniform.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..exceptions import ConvergenceWarning
+from ..validation import check_in_range, check_positive_int
+from .callbacks import Callback, IterationRecord
+from .monitor import DEFAULT_MAX_ITER, ConvergenceMonitor
+from .solver import Solver
+
+__all__ = ["EngineOutcome", "IterativeEngine"]
+
+
+@dataclass(frozen=True)
+class EngineOutcome:
+    """What :meth:`IterativeEngine.run` returns."""
+
+    state: Any
+    n_iter: int
+    converged: bool
+    objective_history: tuple[float, ...]
+    n_increases: int
+
+
+class IterativeEngine:
+    """Drives a :class:`Solver` to convergence or budget exhaustion.
+
+    Parameters
+    ----------
+    max_iter:
+        Hard iteration budget (the paper's ``t1``).
+    tol:
+        Relative-decrease tolerance of the default stopping rule.
+    eval_every:
+        Evaluate the objective every this many iterations (the final
+        iteration is always evaluated).
+    callbacks:
+        :class:`Callback` instances notified at fit start, after every
+        iteration, and at fit end.
+    warn_on_budget:
+        Emit :class:`ConvergenceWarning` when the budget runs out
+        before the stopping rule fires.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_iter: int = DEFAULT_MAX_ITER,
+        tol: float = 1e-6,
+        eval_every: int = 1,
+        callbacks: Iterable[Callback] = (),
+        warn_on_budget: bool = False,
+    ) -> None:
+        self.max_iter = check_positive_int(max_iter, name="max_iter")
+        self.tol = check_in_range(tol, name="tol", low=0.0)
+        self.eval_every = check_positive_int(eval_every, name="eval_every")
+        self.callbacks: tuple[Callback, ...] = tuple(callbacks)
+        self.warn_on_budget = bool(warn_on_budget)
+
+    def run(self, solver: Solver, state: Any) -> EngineOutcome:
+        """Iterate ``solver`` from ``state`` until the stopping rule fires.
+
+        The default rule is the monitor's relative objective decrease;
+        a solver returning a bool from :meth:`Solver.converged` takes
+        full control of stopping (residual thresholds, shrinkage paths,
+        fixed-epoch training).
+        """
+        monitor = ConvergenceMonitor(max_iter=self.max_iter, tol=self.tol)
+        for callback in self.callbacks:
+            callback.on_fit_start(solver, state)
+
+        steps = 0
+        converged = False
+        while steps < self.max_iter and not converged:
+            t_step = time.perf_counter()
+            state = solver.step(state)
+            seconds = time.perf_counter() - t_step
+            steps += 1
+            objective: float | None = None
+            if steps % self.eval_every == 0 or steps == self.max_iter:
+                objective = float(solver.objective(state))
+                monitor.record(objective)
+                custom = solver.converged(state, monitor)
+                converged = monitor.converged if custom is None else bool(custom)
+            record = IterationRecord(
+                iteration=steps, objective=objective, seconds=seconds, state=state
+            )
+            for callback in self.callbacks:
+                callback.on_iteration(solver, record)
+
+        # Solvers with a custom rule override the monitor's verdict so
+        # downstream consumers (reports, warnings) see one truth.
+        monitor.converged = converged
+        if not converged and self.warn_on_budget:
+            warnings.warn(
+                f"iteration budget of {self.max_iter} exhausted without "
+                f"convergence (tol={self.tol})",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+        for callback in self.callbacks:
+            callback.on_fit_end(solver, state, monitor)
+        return EngineOutcome(
+            state=state,
+            n_iter=steps,
+            converged=converged,
+            objective_history=tuple(monitor.history),
+            n_increases=monitor.n_increases,
+        )

@@ -1,0 +1,106 @@
+"""Structured fit telemetry: :class:`FitReport`.
+
+A :class:`FitReport` is the single artefact a fit leaves behind: the
+final factors (or estimate), the per-evaluation objective history, the
+per-iteration wall times, factor movement, and the paper's two checkable
+invariants — objective monotonicity under the multiplicative rule
+(Propositions 5 and 7, via ``n_increases``) and landmark-block
+frozenness (``landmark_block_intact``).
+
+It supersedes the seed repo's ``FactorizationResult``; that name is kept
+as a thin alias (``FactorizationResult = FitReport``) so existing code
+constructing or consuming ``result()`` summaries keeps working — the
+original fields (``u``, ``v``, ``objective_history``, ``n_iter``,
+``converged``) are unchanged and the new telemetry fields all default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FitReport", "FactorizationResult"]
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Summary + telemetry of one completed iterative fit.
+
+    Parameters
+    ----------
+    u, v:
+        Final factor matrices (``None`` for estimate-based solvers).
+    objective_history:
+        Objective value at every evaluation point (every iteration when
+        ``eval_every=1``).
+    n_iter:
+        Iterations actually run.
+    converged:
+        Whether the stopping rule fired before the budget ran out.
+    wall_times:
+        Per-iteration wall-clock seconds of the solver step.
+    factor_deltas:
+        Per-iteration Frobenius norm of each tracked array's change,
+        keyed by factor name (``"u"``, ``"v"``, ``"estimate"``).
+    n_increases:
+        How many recorded objective values *increased* over their
+        predecessor (must be 0 under the multiplicative rule).
+    landmark_block_intact:
+        ``True``/``False`` when a frozen landmark block was tracked and
+        checked at every iteration; ``None`` when nothing was frozen.
+    method:
+        Short identifier of the fitting method.
+    setup_seconds:
+        Wall time spent before iteration started (graph building,
+        landmark K-means, initialisation).
+    loop_seconds:
+        Wall time of the whole iteration loop (steps + evaluations +
+        callback overhead).
+    """
+
+    u: np.ndarray | None = None
+    v: np.ndarray | None = None
+    objective_history: tuple[float, ...] = ()
+    n_iter: int = 0
+    converged: bool = False
+    wall_times: tuple[float, ...] = ()
+    factor_deltas: dict[str, tuple[float, ...]] = field(default_factory=dict)
+    n_increases: int = 0
+    landmark_block_intact: bool | None = None
+    method: str = ""
+    setup_seconds: float = 0.0
+    loop_seconds: float = 0.0
+
+    @property
+    def final_objective(self) -> float:
+        """Objective value at the last recorded evaluation."""
+        return self.objective_history[-1] if self.objective_history else float("nan")
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end fit cost: setup plus the iteration loop."""
+        return self.setup_seconds + self.loop_seconds
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        """Mean wall time of one solver step (Figure 9's quantity)."""
+        if not self.wall_times:
+            return float("nan")
+        return float(np.mean(self.wall_times))
+
+    def is_monotone(self, *, rtol: float = 1e-8) -> bool:
+        """Whether the objective history never increased beyond ``rtol``.
+
+        The tolerance matches the monotonicity tests: an increase
+        smaller than ``rtol * (1 + |objective|)`` is floating-point
+        noise, not a violation of Propositions 5/7.
+        """
+        history = np.asarray(self.objective_history, dtype=np.float64)
+        if history.size < 2:
+            return True
+        return bool((np.diff(history) <= rtol * (1.0 + np.abs(history[:-1]))).all())
+
+
+# Migration alias: the seed repo's result type. See module docstring.
+FactorizationResult = FitReport

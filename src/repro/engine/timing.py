@@ -1,0 +1,156 @@
+"""Telemetry-driven timing: Figure 9's quantities without stopwatches.
+
+Every engine-driven fit already measures itself (per-iteration wall
+times plus setup in its :class:`~repro.engine.FitReport`), so the
+experiment layer never needs ``time.perf_counter`` around ``fit``.
+This module provides:
+
+- :func:`telemetry_seconds` / :func:`timed_fit_impute` - extract a
+  method's cost from its telemetry, with a stopwatch fallback only for
+  the one-shot (non-iterative) imputers that have no engine loop;
+- :func:`engine_benchmark` - the SMF-vs-SMFL per-iteration
+  micro-benchmark (Section IV-E / Figure 9's claim that the frozen
+  landmark block makes SMFL's iterations cheaper);
+- :func:`record_baseline` - persist the micro-benchmark as
+  ``BENCH_engine.json`` so later performance PRs have a trajectory.
+
+Run ``PYTHONPATH=src python -m repro.engine.timing`` to refresh the
+recorded baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Any
+
+import numpy as np
+
+from .report import FitReport
+
+__all__ = [
+    "telemetry_seconds",
+    "timed_fit_impute",
+    "engine_benchmark",
+    "record_baseline",
+]
+
+
+def telemetry_seconds(imputer: object) -> float | None:
+    """Total fit seconds from the imputer's engine telemetry, if any."""
+    report = getattr(imputer, "fit_report_", None)
+    if isinstance(report, FitReport):
+        return report.total_seconds
+    return None
+
+
+def timed_fit_impute(
+    imputer: object, x: np.ndarray, mask: object = None
+) -> tuple[np.ndarray, float, FitReport | None]:
+    """Run ``fit_impute`` and report its cost.
+
+    Engine-driven methods are timed by their own telemetry; one-shot
+    imputers (kNN, DLM, ...) have no iteration loop to instrument, so
+    the call itself is measured as a whole.
+
+    Returns
+    -------
+    ``(estimate, seconds, report)`` — ``report`` is ``None`` for
+    non-engine methods.
+    """
+    start = time.perf_counter()
+    estimate = imputer.fit_impute(x, mask)
+    elapsed = time.perf_counter() - start
+    report = getattr(imputer, "fit_report_", None)
+    if isinstance(report, FitReport) and report.wall_times:
+        return estimate, report.total_seconds, report
+    return estimate, elapsed, None
+
+
+def engine_benchmark(
+    *,
+    dataset: str = "lake",
+    row_counts: tuple[int, ...] = (150, 300, 600),
+    rank: int = 6,
+    missing_rate: float = 0.1,
+    max_iter: int = 100,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """SMF vs SMFL per-iteration wall time across tuple counts.
+
+    The Figure 9 shape in micro form: for each row count, fit both
+    models with the same seed and budget and compare seconds per
+    iteration from engine telemetry.  SMFL skips the frozen landmark
+    block's V-update, so its iterations should be cheaper.  The speedup
+    is computed on the *median* per-iteration wall time — sub-100us
+    iterations make the mean hostage to scheduler/GC outliers.
+    """
+    # Imported lazily: the engine layer must not depend on the model /
+    # data layers at import time (they depend on it).
+    from ..core.smf import SMF
+    from ..core.smfl import SMFL
+    from ..data.registry import DEFAULT_SEEDS, load_dataset
+    from ..masking.injection import MissingSpec, inject_missing
+
+    results: dict[str, Any] = {
+        "dataset": dataset,
+        "rank": rank,
+        "max_iter": max_iter,
+        "rows": {},
+    }
+    for n_rows in row_counts:
+        data = load_dataset(dataset, n_rows=n_rows, random_state=DEFAULT_SEEDS[dataset])
+        x_missing, mask = inject_missing(
+            data.values,
+            MissingSpec(missing_rate=missing_rate, columns=data.attribute_columns),
+            random_state=seed,
+        )
+        entry: dict[str, Any] = {}
+        for label, model in (
+            ("smf", SMF(rank=rank, n_spatial=data.n_spatial, max_iter=max_iter,
+                        random_state=seed)),
+            ("smfl", SMFL(rank=rank, n_spatial=data.n_spatial, max_iter=max_iter,
+                          random_state=seed)),
+        ):
+            model.fit(x_missing, mask)
+            report = model.fit_report_
+            assert report is not None
+            entry[label] = {
+                "n_iter": report.n_iter,
+                "seconds_per_iteration": report.seconds_per_iteration,
+                "median_iteration_seconds": float(np.median(report.wall_times)),
+                "loop_seconds": report.loop_seconds,
+                "setup_seconds": report.setup_seconds,
+                "total_seconds": report.total_seconds,
+                "converged": report.converged,
+            }
+        entry["smfl_per_iter_speedup"] = (
+            entry["smf"]["median_iteration_seconds"]
+            / max(entry["smfl"]["median_iteration_seconds"], 1e-12)
+        )
+        results["rows"][str(n_rows)] = entry
+    return results
+
+
+def record_baseline(
+    path: str = "results/BENCH_engine.json", **kwargs: Any
+) -> dict[str, Any]:
+    """Run :func:`engine_benchmark` and write the result as JSON."""
+    results = engine_benchmark(**kwargs)
+    results["python"] = platform.python_version()
+    results["machine"] = platform.machine()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return results
+
+
+if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
+    recorded = record_baseline()
+    for rows, entry in recorded["rows"].items():
+        print(
+            f"n={rows}: smf {entry['smf']['median_iteration_seconds']:.3e}s/it, "
+            f"smfl {entry['smfl']['median_iteration_seconds']:.3e}s/it "
+            f"(median speedup {entry['smfl_per_iter_speedup']:.2f}x)"
+        )

@@ -27,6 +27,7 @@ from ..baselines.registry import make_imputer
 from ..data.registry import DEFAULT_SEEDS, load_dataset
 from ..data.preprocessing import extract_complete_holdout
 from ..data.schema import SpatialDataset
+from ..engine.report import FitReport
 from ..masking.injection import ErrorSpec, MissingSpec, inject_errors, inject_missing
 from ..masking.mask import ObservationMask
 from ..metrics.rms import rms_over_mask
@@ -40,6 +41,7 @@ __all__ = [
     "ImputationTrial",
     "prepare_trial",
     "run_method_on_trial",
+    "run_method_with_report",
     "average_rms",
 ]
 
@@ -157,6 +159,23 @@ def run_method_on_trial(
     overrides: dict[str, object] | None = None,
 ) -> float:
     """Run one method on a prepared trial and return its RMS error."""
+    rms, _ = run_method_with_report(method, trial, rank=rank, overrides=overrides)
+    return rms
+
+
+def run_method_with_report(
+    method: str,
+    trial: ImputationTrial,
+    *,
+    rank: int | None = None,
+    overrides: dict[str, object] | None = None,
+) -> tuple[float, FitReport | None]:
+    """Run one method and return ``(rms, engine telemetry)``.
+
+    The report is the method's :class:`~repro.engine.FitReport` —
+    per-iteration objectives, wall times, and invariant checks — or
+    ``None`` for one-shot (non-iterative) imputers.
+    """
     dataset = trial.dataset
     k = rank if rank is not None else DATASET_RANKS[dataset.name]
     imputer = make_imputer(
@@ -167,7 +186,9 @@ def run_method_on_trial(
             raise AttributeError(f"{method} has no parameter {attr!r}")
         setattr(imputer, attr, value)
     estimate = imputer.fit_impute(trial.x_missing, trial.mask)
-    return rms_over_mask(estimate, dataset.values, trial.mask)
+    rms = rms_over_mask(estimate, dataset.values, trial.mask)
+    report = getattr(imputer, "fit_report_", None)
+    return rms, report if isinstance(report, FitReport) else None
 
 
 def average_rms(

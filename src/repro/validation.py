@@ -9,8 +9,6 @@ uniform.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from .exceptions import ValidationError

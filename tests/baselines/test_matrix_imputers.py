@@ -12,7 +12,7 @@ from repro.baselines import (
     SoftImputeImputer,
 )
 from repro.baselines.mc import svd_shrink
-from repro.masking import MissingSpec, ObservationMask, inject_missing
+from repro.masking import ObservationMask
 from repro.metrics import rms_over_mask
 
 

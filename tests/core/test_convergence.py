@@ -27,12 +27,34 @@ class TestConvergenceMonitor:
         assert monitor.converged
         assert not monitor.keep_going()
 
-    def test_increase_counts_as_converged(self):
-        # An increase means decrease < tol, so the monitor stops; the
-        # caller's rules guarantee monotonicity anyway.
+    def test_increase_never_converges(self):
+        # The gradient rule can overshoot; stopping on an increase would
+        # freeze the solver at its worst iterate.  Increases are counted
+        # instead and surfaced to the telemetry layer.
         monitor = ConvergenceMonitor(max_iter=10, tol=1e-6)
         monitor.record(1.0)
         monitor.record(1.5)
+        assert not monitor.converged
+        assert monitor.n_increases == 1
+        assert monitor.keep_going()
+
+    def test_increase_count_resets(self):
+        monitor = ConvergenceMonitor(max_iter=10, tol=1e-6)
+        monitor.record(1.0)
+        monitor.record(1.5)
+        monitor.record(1.2)
+        monitor.record(1.3)
+        assert monitor.n_increases == 2
+        monitor.reset()
+        assert monitor.n_increases == 0
+
+    def test_recovery_after_increase_still_converges(self):
+        # A later genuine small decrease must still stop the solver.
+        monitor = ConvergenceMonitor(max_iter=10, tol=1e-3)
+        monitor.record(1.0)
+        monitor.record(1.5)
+        monitor.record(0.8)
+        monitor.record(0.7999999)
         assert monitor.converged
 
     def test_keeps_going_on_large_decrease(self):

@@ -1,0 +1,244 @@
+"""Unit tests for the iteration engine, kernels, and telemetry layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FactorizationResult, MaskedNMF
+from repro.core.updates import (
+    gradient_update_u,
+    gradient_update_v,
+    multiplicative_update_u,
+    multiplicative_update_v,
+)
+from repro.engine import (
+    Callback,
+    FitReport,
+    IterativeEngine,
+    KernelContext,
+    Solver,
+    Telemetry,
+    UpdateKernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+)
+from repro.engine.kernels import _REGISTRY
+from repro.exceptions import ConvergenceWarning, ValidationError
+
+
+class CountingSolver(Solver):
+    """Objective 1/n: decreases forever, converges only by tolerance."""
+
+    name = "counting"
+
+    def step(self, state):
+        return state + 1
+
+    def objective(self, state):
+        return 1.0 / state
+
+    def factors(self, state):
+        return {"estimate": np.array([float(state)])}
+
+
+class StopAtSolver(CountingSolver):
+    def __init__(self, stop_at):
+        self.stop_at = stop_at
+
+    def converged(self, state, monitor):
+        return state >= self.stop_at
+
+
+class TestIterativeEngine:
+    def test_runs_to_budget(self):
+        outcome = IterativeEngine(max_iter=7, tol=0.0).run(CountingSolver(), 0)
+        assert outcome.n_iter == 7
+        assert outcome.state == 7
+        assert not outcome.converged
+        assert len(outcome.objective_history) == 7
+
+    def test_monitor_tolerance_stops(self):
+        # Relative decrease of 1/n drops below 0.2 once n > ~6.
+        outcome = IterativeEngine(max_iter=100, tol=0.2).run(CountingSolver(), 0)
+        assert outcome.converged
+        assert outcome.n_iter < 100
+
+    def test_custom_converged_overrides_monitor(self):
+        outcome = IterativeEngine(max_iter=100, tol=0.5).run(StopAtSolver(3), 0)
+        assert outcome.converged
+        assert outcome.n_iter == 3
+
+    def test_eval_every_skips_objectives(self):
+        outcome = IterativeEngine(max_iter=10, tol=0.0, eval_every=3).run(
+            CountingSolver(), 0
+        )
+        # Evaluations at 3, 6, 9 and at the final iteration 10.
+        assert len(outcome.objective_history) == 4
+
+    def test_callback_order_and_records(self):
+        events = []
+
+        class Recorder(Callback):
+            def on_fit_start(self, solver, state):
+                events.append("start")
+
+            def on_iteration(self, solver, record):
+                events.append(record.iteration)
+
+            def on_fit_end(self, solver, state, monitor):
+                events.append("end")
+
+        IterativeEngine(max_iter=3, tol=0.0, callbacks=(Recorder(),)).run(
+            CountingSolver(), 0
+        )
+        assert events == ["start", 1, 2, 3, "end"]
+
+    def test_budget_warning(self):
+        with pytest.warns(ConvergenceWarning):
+            IterativeEngine(max_iter=2, tol=0.0, warn_on_budget=True).run(
+                CountingSolver(), 0
+            )
+
+    def test_increases_counted_not_converged(self):
+        class ZigZag(Solver):
+            def step(self, state):
+                return state + 1
+
+            def objective(self, state):
+                return float(state % 2)  # 1, 0, 1, 0, ...
+
+        # History 1,0,1,0,1,0: the 0->1 transitions at steps 3 and 5.
+        outcome = IterativeEngine(max_iter=6, tol=0.0).run(ZigZag(), 0)
+        assert not outcome.converged
+        assert outcome.n_increases == 2
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            IterativeEngine(max_iter=0)
+        with pytest.raises(ValidationError):
+            IterativeEngine(tol=-1.0)
+        with pytest.raises(ValidationError):
+            IterativeEngine(eval_every=0)
+
+
+class TestTelemetry:
+    def test_captures_walltimes_and_objectives(self):
+        telemetry = Telemetry()
+        IterativeEngine(max_iter=5, tol=0.0, callbacks=(telemetry,)).run(
+            CountingSolver(), 0
+        )
+        report = telemetry.report()
+        assert report.n_iter == 5
+        assert len(report.wall_times) == 5
+        assert all(t >= 0 for t in report.wall_times)
+        assert report.method == "counting"
+        assert report.total_seconds >= report.loop_seconds > 0
+
+    def test_factor_deltas(self):
+        telemetry = Telemetry()
+        IterativeEngine(max_iter=4, tol=0.0, callbacks=(telemetry,)).run(
+            CountingSolver(), 0
+        )
+        deltas = telemetry.report().factor_deltas["estimate"]
+        assert len(deltas) == 4
+        assert all(d == 1.0 for d in deltas)
+
+    def test_frozen_block_violation_detected(self):
+        class Mutating(CountingSolver):
+            def factors(self, state):
+                # "v" drifts every step: the frozen check must fail.
+                return {"v": np.full((2, 2), float(state))}
+
+        mask = np.zeros((2, 2), dtype=bool)
+        mask[0, 0] = True
+        telemetry = Telemetry(frozen_mask=mask, frozen_values=np.array([0.0]))
+        IterativeEngine(max_iter=2, tol=0.0, callbacks=(telemetry,)).run(Mutating(), 0)
+        assert telemetry.report().landmark_block_intact is False
+
+    def test_frozen_requires_both_arguments(self):
+        with pytest.raises(ValueError):
+            Telemetry(frozen_mask=np.zeros((1, 1), dtype=bool))
+
+
+class TestFitReport:
+    def test_factorization_result_is_alias(self):
+        assert FactorizationResult is FitReport
+
+    def test_empty_report_final_objective_nan(self):
+        assert np.isnan(FitReport().final_objective)
+        assert np.isnan(FitReport().seconds_per_iteration)
+
+    def test_is_monotone(self):
+        assert FitReport(objective_history=(3.0, 2.0, 2.0)).is_monotone()
+        assert not FitReport(objective_history=(3.0, 2.0, 2.5)).is_monotone()
+
+    def test_model_result_returns_report(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        model = MaskedNMF(rank=3, random_state=0, max_iter=25).fit(x_missing, mask)
+        report = model.result()
+        assert isinstance(report, FitReport)
+        assert report.n_iter == model.n_iter_
+        assert report.method == "nmf"
+        assert len(report.wall_times) == report.n_iter
+
+
+class TestKernelRegistry:
+    def test_builtin_kernels_registered(self):
+        assert "multiplicative" in available_kernels()
+        assert "gradient" in available_kernels()
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValidationError, match="unknown update kernel"):
+            get_kernel("newton")
+
+    def test_unknown_update_rule_on_model(self):
+        with pytest.raises(ValidationError, match="update_rule"):
+            MaskedNMF(rank=2, update_rule="newton")
+
+    def test_multiplicative_kernel_matches_direct_updates(self, rng):
+        x = rng.random((12, 5))
+        observed = rng.random((12, 5)) > 0.2
+        x_observed = np.where(observed, x, 0.0)
+        u0 = rng.random((12, 3)) + 0.1
+        v0 = rng.random((3, 5)) + 0.1
+        u_k, v_k = get_kernel("multiplicative").step(
+            x_observed, observed, u0, v0, KernelContext()
+        )
+        u_ref = multiplicative_update_u(x_observed, observed, u0, v0)
+        v_ref = multiplicative_update_v(x_observed, observed, u_ref, v0)
+        assert np.array_equal(u_k, u_ref)
+        assert np.array_equal(v_k, v_ref)
+
+    def test_gradient_kernel_matches_direct_updates(self, rng):
+        x = rng.random((12, 5))
+        observed = rng.random((12, 5)) > 0.2
+        x_observed = np.where(observed, x, 0.0)
+        u0 = rng.random((12, 3)) + 0.1
+        v0 = rng.random((3, 5)) + 0.1
+        ctx = KernelContext(learning_rate=1e-2)
+        u_k, v_k = get_kernel("gradient").step(x_observed, observed, u0, v0, ctx)
+        u_ref = gradient_update_u(x_observed, observed, u0, v0, learning_rate=1e-2)
+        v_ref = gradient_update_v(x_observed, observed, u_ref, v0, learning_rate=1e-2)
+        assert np.array_equal(u_k, u_ref)
+        assert np.array_equal(v_k, v_ref)
+
+    def test_custom_kernel_pluggable_by_name(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+
+        @register_kernel("test-identity")
+        class IdentityKernel(UpdateKernel):
+            def step(self, x_observed, observed, u, v, ctx):
+                return u, v
+
+        try:
+            model = MaskedNMF(
+                rank=3, update_rule="test-identity", random_state=0, max_iter=5
+            )
+            model.fit(x_missing, mask)
+            # The identity kernel never moves: converges on first eval pair.
+            deltas = model.fit_report_.factor_deltas["u"]
+            assert all(d == 0.0 for d in deltas)
+        finally:
+            _REGISTRY.pop("test-identity", None)
