@@ -36,7 +36,7 @@ from .iterative import IterativeImputer
 from .gain import GAINImputer
 from .camf import CAMFImputer
 from .pca import PCAModel
-from .registry import IMPUTER_NAMES, make_imputer
+from .registry import IMPUTER_NAMES, STOCHASTIC_VARIANTS, make_imputer
 
 __all__ = [
     "Imputer",
@@ -54,5 +54,6 @@ __all__ = [
     "CAMFImputer",
     "PCAModel",
     "IMPUTER_NAMES",
+    "STOCHASTIC_VARIANTS",
     "make_imputer",
 ]

@@ -29,6 +29,11 @@ from ..engine.core import IterativeEngine
 from ..engine.kernels import KernelContext, available_kernels, get_kernel
 from ..engine.report import FactorizationResult, FitReport
 from ..engine.solver import Solver
+from ..engine.stochastic import (
+    STOCHASTIC_KERNELS,
+    BatchScheduler,
+    StochasticWorkspace,
+)
 from ..exceptions import NotFittedError, ValidationError
 from ..masking.mask import ObservationMask, mask_from_missing_values
 from ..validation import (
@@ -106,15 +111,36 @@ class MatrixFactorizationBase:
     rank:
         Factorization rank ``K``.
     max_iter:
-        Update-iteration budget ``t1`` (paper default 500).
+        Update-iteration budget ``t1`` (paper default 500; for the
+        stochastic path this counts *epochs*).  0 is legal and yields
+        the initial factors with an empty history.
     tol:
         Relative objective-decrease tolerance for early stopping.
+    method:
+        Solver path: ``"batch"`` (default; full-matrix updates every
+        iteration) or ``"stochastic"`` (mini-batch epochs driven by a
+        :class:`~repro.engine.BatchScheduler`; see DESIGN.md).  Picking
+        a stochastic ``update_rule`` (``"sgd"``/``"svrg"``) implies
+        ``method="stochastic"``.
     update_rule:
         Name of a registered update kernel: ``"multiplicative"``
-        (Formulas 13-14, paper default) or ``"gradient"``
-        (Section III-B1).
+        (Formulas 13-14, the batch default), ``"gradient"``
+        (Section III-B1), or the stochastic ``"sgd"`` (the
+        ``method="stochastic"`` default) / ``"svrg"`` rules.  ``None``
+        selects the default of the chosen ``method``.
     learning_rate:
-        Step size for the gradient rule (ignored by multiplicative).
+        Step size for the gradient/stochastic rules (ignored by
+        multiplicative).
+    batch_size:
+        Stochastic path: rows per mini-batch (``None`` uses
+        ``min(64, N)``; values above ``N`` are clamped to ``N``).
+    shuffle:
+        Stochastic path: reshuffle the row order every epoch (each
+        epoch's permutation comes from an explicit per-epoch seed, so
+        fits are reproducible from ``random_state`` alone).
+    lr_decay:
+        Stochastic path: step-size decay rate; epoch ``e`` steps with
+        ``learning_rate / (1 + lr_decay * e)``.
     init:
         Factor initialisation strategy (``"random"`` or ``"nndsvd"``).
     eval_every:
@@ -141,25 +167,49 @@ class MatrixFactorizationBase:
         *,
         max_iter: int = DEFAULT_MAX_ITER,
         tol: float = 1e-6,
-        update_rule: str = "multiplicative",
+        method: str = "batch",
+        update_rule: str | None = None,
         learning_rate: float = 1e-3,
+        batch_size: int | None = None,
+        shuffle: bool = True,
+        lr_decay: float = 0.0,
         init: str = "random",
         eval_every: int = 1,
         clip_to_observed: bool = True,
         random_state: object = None,
     ) -> None:
         self.rank = check_positive_int(rank, name="rank")
-        self.max_iter = check_positive_int(max_iter, name="max_iter")
+        self.max_iter = check_positive_int(max_iter, name="max_iter", minimum=0)
         self.tol = check_in_range(tol, name="tol", low=0.0)
+        if method not in ("batch", "stochastic"):
+            raise ValidationError(
+                f"unknown method {method!r}; available: ('batch', 'stochastic')"
+            )
+        if update_rule is None:
+            update_rule = "sgd" if method == "stochastic" else "multiplicative"
         if update_rule not in available_kernels():
             raise ValidationError(
                 f"unknown update_rule {update_rule!r}; "
                 f"available: {available_kernels()}"
             )
+        if update_rule in STOCHASTIC_KERNELS:
+            method = "stochastic"
+        elif method == "stochastic":
+            raise ValidationError(
+                f"method='stochastic' needs a stochastic update_rule "
+                f"{STOCHASTIC_KERNELS}, got {update_rule!r}"
+            )
+        self.fit_method = method
         self.update_rule = update_rule
         self.learning_rate = check_in_range(
             learning_rate, name="learning_rate", low=0.0, low_inclusive=False
         )
+        self.batch_size = (
+            None if batch_size is None
+            else check_positive_int(batch_size, name="batch_size")
+        )
+        self.shuffle = bool(shuffle)
+        self.lr_decay = check_in_range(lr_decay, name="lr_decay", low=0.0)
         self.init = init
         self.eval_every = check_positive_int(eval_every, name="eval_every")
         self.clip_to_observed = bool(clip_to_observed)
@@ -174,6 +224,8 @@ class MatrixFactorizationBase:
         self._fit_x: np.ndarray | None = None
         self._fit_mask: ObservationMask | None = None
         self._ctx_cache: tuple[tuple[int, int], KernelContext] | None = None
+        self._scheduler: BatchScheduler | None = None
+        self._workspace: StochasticWorkspace | None = None
 
     # ----------------------------------------------------------------- hooks
 
@@ -206,6 +258,8 @@ class MatrixFactorizationBase:
         return KernelContext(
             learning_rate=self.learning_rate,
             frozen_v=self._frozen_v_mask(v_shape),
+            scheduler=self._scheduler,
+            workspace=self._workspace,
         )
 
     def _cached_kernel_context(self, v_shape: tuple[int, int]) -> KernelContext:
@@ -275,8 +329,26 @@ class MatrixFactorizationBase:
         rng = resolve_rng(self.random_state)
 
         self._prepare_fit(x, x_observed, observation)
-        self._ctx_cache = None  # graph/landmark structures were rebuilt
         u, v = self._initial_factors(x_observed, observed, rng)
+
+        # The stochastic machinery is rebuilt per fit.  Drawing the
+        # shuffle seed *after* the factor initialisation keeps U0/V0
+        # identical between the batch and stochastic paths for the same
+        # random_state (the equivalence tests rely on this).
+        if self.fit_method == "stochastic":
+            self._scheduler = BatchScheduler(
+                x.shape[0],
+                batch_size=self.batch_size,
+                shuffle=self.shuffle,
+                seed=int(rng.integers(0, 2**63)),
+                learning_rate=self.learning_rate,
+                decay=self.lr_decay,
+            )
+            self._workspace = StochasticWorkspace()
+        else:
+            self._scheduler = None
+            self._workspace = None
+        self._ctx_cache = None  # graph/landmark/stochastic structures rebuilt
 
         frozen = self._frozen_v_mask(v.shape)
         if frozen is not None and frozen.any():
@@ -301,7 +373,17 @@ class MatrixFactorizationBase:
         self.n_iter_ = outcome.n_iter
         self.converged_ = outcome.converged
         self.objective_history_ = list(outcome.objective_history)
-        self.fit_report_ = telemetry.report(u=self.u_.copy(), v=self.v_.copy())
+        workspace = self._workspace
+        self.fit_report_ = telemetry.report(
+            u=self.u_.copy(),
+            v=self.v_.copy(),
+            sampled_objectives=(
+                tuple(workspace.sampled_objectives) if workspace is not None else ()
+            ),
+            rows_touched=(
+                tuple(workspace.rows_touched) if workspace is not None else ()
+            ),
+        )
         self._fit_x = x
         self._fit_mask = observation
         return self

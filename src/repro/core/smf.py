@@ -144,6 +144,8 @@ class SMF(MatrixFactorizationBase):
             laplacian=self.laplacian_,
             learning_rate=self.learning_rate,
             frozen_v=self._frozen_v_mask(v_shape),
+            scheduler=self._scheduler,
+            workspace=self._workspace,
         )
 
     def feature_locations(self) -> np.ndarray:

@@ -18,9 +18,15 @@ Architecture (see DESIGN.md section "Engine layer")::
   Telemetry captures objectives, wall times, factor deltas, and
   landmark-block invariance into a :class:`FitReport`;
 - :mod:`repro.engine.kernels` - named update kernels (multiplicative /
-  gradient) the factorization models select via ``update_rule``;
-- :mod:`repro.engine.timing` - telemetry-driven timing helpers and the
-  SMF-vs-SMFL micro-benchmark (Figure 9's per-iteration cost claim).
+  gradient / sgd / svrg) the factorization models select via
+  ``update_rule``;
+- :mod:`repro.engine.stochastic` - the mini-batch path:
+  :class:`BatchScheduler` epoch planning, the per-fit
+  :class:`StochasticWorkspace`, and the ``sgd``/``svrg`` kernels;
+- :mod:`repro.engine.timing` - telemetry-driven timing helpers, the
+  SMF-vs-SMFL micro-benchmark (Figure 9's per-iteration cost claim),
+  and the stochastic-vs-full-batch benchmark
+  (``python -m repro.engine.timing --stochastic``).
 
 ``FitReport`` supersedes the seed repo's ``FactorizationResult``; the
 old name is an alias of the new class.
@@ -38,12 +44,22 @@ from .kernels import (
 from .monitor import DEFAULT_MAX_ITER, ConvergenceMonitor
 from .report import FactorizationResult, FitReport
 from .solver import Solver
+from .stochastic import (
+    DEFAULT_BATCH_SIZE,
+    STOCHASTIC_KERNELS,
+    BatchScheduler,
+    StochasticWorkspace,
+)
 
 __all__ = [
+    "BatchScheduler",
     "Callback",
     "ConvergenceMonitor",
+    "DEFAULT_BATCH_SIZE",
     "DEFAULT_MAX_ITER",
     "EngineOutcome",
+    "STOCHASTIC_KERNELS",
+    "StochasticWorkspace",
     "FactorizationResult",
     "FitReport",
     "IterationRecord",

@@ -147,8 +147,16 @@ class Telemetry(Callback):
         u: np.ndarray | None = None,
         v: np.ndarray | None = None,
         converged: bool | None = None,
+        sampled_objectives: tuple[float, ...] = (),
+        rows_touched: tuple[int, ...] = (),
     ) -> FitReport:
-        """Assemble the :class:`FitReport` for the finished fit."""
+        """Assemble the :class:`FitReport` for the finished fit.
+
+        ``sampled_objectives`` / ``rows_touched`` are the stochastic
+        path's per-epoch accumulators (collected by the kernel's
+        workspace, not by this callback — the engine only sees whole
+        epochs).
+        """
         return FitReport(
             u=u,
             v=v,
@@ -159,6 +167,8 @@ class Telemetry(Callback):
             factor_deltas={k: tuple(d) for k, d in self.deltas.items()},
             n_increases=self.n_increases,
             landmark_block_intact=self.landmark_block_intact,
+            sampled_objectives=tuple(sampled_objectives),
+            rows_touched=tuple(rows_touched),
             method=self.method,
             setup_seconds=self.setup_seconds,
             loop_seconds=self.loop_seconds,

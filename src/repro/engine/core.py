@@ -64,7 +64,9 @@ class IterativeEngine:
         callbacks: Iterable[Callback] = (),
         warn_on_budget: bool = False,
     ) -> None:
-        self.max_iter = check_positive_int(max_iter, name="max_iter")
+        # A zero budget is legal: the loop body never runs and the
+        # outcome carries the initial state with an empty history.
+        self.max_iter = check_positive_int(max_iter, name="max_iter", minimum=0)
         self.tol = check_in_range(tol, name="tol", low=0.0)
         self.eval_every = check_positive_int(eval_every, name="eval_every")
         self.callbacks: tuple[Callback, ...] = tuple(callbacks)

@@ -48,6 +48,10 @@ class KernelContext:
     laplacian: object | None = None
     learning_rate: float = 1e-3
     frozen_v: np.ndarray | None = None
+    #: Mini-batch plan + per-fit mutable state, required by the
+    #: stochastic kernels (see :mod:`repro.engine.stochastic`).
+    scheduler: object | None = None
+    workspace: object | None = None
     #: Set in __post_init__: L when frozen_v is the landmark layout
     #: (first L whole columns), letting kernels take the sliced
     #: live-column update without re-analysing the mask every step.

@@ -64,7 +64,9 @@ class ConvergenceMonitor:
     n_increases: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
-        self.max_iter = check_positive_int(self.max_iter, name="max_iter")
+        # 0 is a legal budget: "run no iterations" must yield a valid
+        # (empty) history rather than a ValidationError.
+        self.max_iter = check_positive_int(self.max_iter, name="max_iter", minimum=0)
         self.tol = check_in_range(self.tol, name="tol", low=0.0)
 
     @property

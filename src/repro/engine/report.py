@@ -49,6 +49,15 @@ class FitReport:
     landmark_block_intact:
         ``True``/``False`` when a frozen landmark block was tracked and
         checked at every iteration; ``None`` when nothing was frozen.
+    sampled_objectives:
+        Stochastic path only: the per-epoch mini-batch objective
+        estimate (sum of squared batch residuals, each row evaluated at
+        the parameters current when its batch was visited).  Cheap to
+        collect — no extra full-matrix pass — but noisier than
+        ``objective_history`` and missing the spatial penalty term.
+    rows_touched:
+        Stochastic path only: rows updated per epoch (the unit Figure
+        9-style efficiency comparisons divide objective decrease by).
     method:
         Short identifier of the fitting method.
     setup_seconds:
@@ -68,6 +77,8 @@ class FitReport:
     factor_deltas: dict[str, tuple[float, ...]] = field(default_factory=dict)
     n_increases: int = 0
     landmark_block_intact: bool | None = None
+    sampled_objectives: tuple[float, ...] = ()
+    rows_touched: tuple[int, ...] = ()
     method: str = ""
     setup_seconds: float = 0.0
     loop_seconds: float = 0.0
@@ -76,6 +87,21 @@ class FitReport:
     def final_objective(self) -> float:
         """Objective value at the last recorded evaluation."""
         return self.objective_history[-1] if self.objective_history else float("nan")
+
+    @property
+    def total_row_updates(self) -> int:
+        """Row-update count of the whole fit.
+
+        Stochastic fits report the recorded per-epoch counts; full-batch
+        fits touch every row of ``U`` each iteration, so the count is
+        ``n_iter * N`` (``N`` recovered from the final ``u``; 0 when the
+        report carries no factors).
+        """
+        if self.rows_touched:
+            return int(sum(self.rows_touched))
+        if self.u is None:
+            return 0
+        return self.n_iter * int(self.u.shape[0])
 
     @property
     def total_seconds(self) -> float:

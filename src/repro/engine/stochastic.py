@@ -1,0 +1,360 @@
+"""Mini-batch stochastic update path: scheduler, workspace, SGD/SVRG kernels.
+
+Full-batch updates (multiplicative or gradient) pay ``O(N M K)`` per
+iteration; the paper's Proposition 1 cost is dominated by exactly these
+full-matrix passes.  Following the stochastic-subsampling literature
+(Mensch et al.; Zhao et al., see PAPERS.md), this module amortizes them
+over mini-batches of rows:
+
+- :class:`BatchScheduler` — deterministic epoch planning: batch size
+  (clamped to ``N``), per-epoch shuffling from explicit
+  ``np.random.Generator`` seeds, and step-size decay
+  ``lr / (1 + decay * epoch)``;
+- :class:`StochasticWorkspace` — per-fit mutable state the frozen
+  :class:`~repro.engine.kernels.KernelContext` cannot carry: the epoch
+  counter, a reused residual buffer (one allocation per fit, not per
+  batch), SVRG anchors, and the per-epoch telemetry accumulators
+  (sampled-objective estimates, rows-touched counts);
+- ``sgd`` / ``svrg`` update kernels — registered beside
+  ``multiplicative`` and ``gradient`` so every model in the NMF family
+  picks them up through the same registry seam.
+
+One engine *iteration* of a stochastic kernel is one **epoch**: a full
+pass over the shuffled mini-batches.  Within each batch the kernel
+takes a projected-gradient step on the batch rows of ``U`` and a
+scaled stochastic step on the live columns of ``V`` (the SMFL landmark
+block stays frozen, exactly as in the full-batch rules).  With
+``batch_size >= N``, ``shuffle=False`` and ``decay=0`` both kernels
+reduce to the full-batch ``gradient`` kernel — the reduction the
+equivalence tests pin down.
+
+SVRG note: the ``U`` gradient is row-separable, so the variance-reduction
+correction cancels identically on the batch rows of ``U`` and only the
+shared factor ``V`` receives the corrected estimate
+``g_B(w) - g_B(w_anchor) + mu(w_anchor)`` (anchor refreshed every epoch).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..validation import check_in_range, check_positive_int
+from .kernels import KernelContext, UpdateKernel, register_kernel
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "STOCHASTIC_KERNELS",
+    "BatchScheduler",
+    "StochasticWorkspace",
+    "SGDKernel",
+    "SVRGKernel",
+]
+
+DEFAULT_BATCH_SIZE = 64
+"""Rows per mini-batch when the caller does not choose one."""
+
+STOCHASTIC_KERNELS: tuple[str, ...] = ("sgd", "svrg")
+"""Kernel names that require a :class:`BatchScheduler` + workspace."""
+
+
+class BatchScheduler:
+    """Plans the mini-batch epochs of one stochastic fit.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of rows ``N`` of the data matrix.
+    batch_size:
+        Rows per batch; ``None`` means ``min(DEFAULT_BATCH_SIZE, N)``.
+        Oversized requests (``batch_size > N``) are clamped to ``N``
+        rather than rejected — a single full batch is a valid epoch.
+    shuffle:
+        Shuffle the row order each epoch.  Epoch ``e`` draws its
+        permutation from ``np.random.default_rng((seed, e))``, so the
+        schedule is a pure function of ``(seed, epoch)`` — replaying an
+        epoch never depends on how many epochs ran before it.
+    seed:
+        Explicit integer seed of the shuffling stream.
+    learning_rate:
+        Base step size.
+    decay:
+        Step-size decay rate: epoch ``e`` steps with
+        ``learning_rate / (1 + decay * e)``.
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        *,
+        batch_size: int | None = None,
+        shuffle: bool = True,
+        seed: int = 0,
+        learning_rate: float = 1e-3,
+        decay: float = 0.0,
+    ) -> None:
+        self.n_rows = check_positive_int(n_rows, name="n_rows")
+        if batch_size is None:
+            batch_size = min(DEFAULT_BATCH_SIZE, self.n_rows)
+        batch_size = check_positive_int(batch_size, name="batch_size")
+        self.batch_size = min(batch_size, self.n_rows)
+        self.shuffle = bool(shuffle)
+        self.seed = int(seed)
+        self.learning_rate = check_in_range(
+            learning_rate, name="learning_rate", low=0.0, low_inclusive=False
+        )
+        self.decay = check_in_range(decay, name="decay", low=0.0)
+
+    @property
+    def n_batches(self) -> int:
+        """Batches per epoch (the last one may be smaller)."""
+        return -(-self.n_rows // self.batch_size)
+
+    def step_size(self, epoch: int) -> float:
+        """Learning rate of ``epoch`` under the decay schedule."""
+        return self.learning_rate / (1.0 + self.decay * epoch)
+
+    def batches(self, epoch: int) -> Iterator[np.ndarray]:
+        """Yield the row-index arrays of one epoch, in schedule order."""
+        if self.shuffle:
+            order = np.random.default_rng((self.seed, epoch)).permutation(self.n_rows)
+        else:
+            order = np.arange(self.n_rows)
+        for start in range(0, self.n_rows, self.batch_size):
+            yield order[start : start + self.batch_size]
+
+
+class StochasticWorkspace:
+    """Per-fit mutable state shared by the stochastic kernels.
+
+    The :class:`~repro.engine.kernels.KernelContext` is a frozen,
+    per-fit object; everything a stochastic kernel must *mutate*
+    between steps lives here instead: the epoch counter, the reused
+    residual buffer, the SVRG anchor, and the per-epoch telemetry
+    accumulators that land in
+    :attr:`~repro.engine.FitReport.sampled_objectives` and
+    :attr:`~repro.engine.FitReport.rows_touched`.
+    """
+
+    def __init__(self) -> None:
+        self.epoch: int = 0
+        self.sampled_objectives: list[float] = []
+        self.rows_touched: list[int] = []
+        self._residual: np.ndarray | None = None
+        # SVRG anchor: residual of the epoch-start iterate plus the full
+        # data-term gradient of V at that iterate.
+        self.anchor_u: np.ndarray | None = None
+        self.anchor_residual: np.ndarray | None = None
+        self.anchor_grad_v: np.ndarray | None = None
+
+    def residual_buffer(self, n_rows: int, n_cols: int) -> np.ndarray:
+        """A ``(n_rows, n_cols)`` scratch view, reused across batches."""
+        if self._residual is None or self._residual.shape[1] != n_cols or (
+            self._residual.shape[0] < n_rows
+        ):
+            self._residual = np.empty((n_rows, n_cols), dtype=np.float64)
+        return self._residual[:n_rows]
+
+    def record_epoch(self, rows_touched: int, sampled_objective: float) -> None:
+        """Close one epoch: store its telemetry and advance the counter."""
+        self.rows_touched.append(int(rows_touched))
+        self.sampled_objectives.append(float(sampled_objective))
+        self.epoch += 1
+
+
+def _require_schedule(ctx: KernelContext, kernel: str) -> tuple[
+    BatchScheduler, StochasticWorkspace
+]:
+    if ctx.scheduler is None or ctx.workspace is None:
+        raise ValidationError(
+            f"the {kernel!r} kernel needs a BatchScheduler and a "
+            "StochasticWorkspace in its KernelContext; construct the model "
+            'with method="stochastic" (or build the context by hand)'
+        )
+    return ctx.scheduler, ctx.workspace
+
+
+def _masked_residual(
+    buffer: np.ndarray,
+    u_rows: np.ndarray,
+    v: np.ndarray,
+    x_rows: np.ndarray,
+    observed_rows: np.ndarray,
+) -> np.ndarray:
+    """``R_O(U_B V - X_B)`` into ``buffer`` (no new allocation)."""
+    np.matmul(u_rows, v, out=buffer)
+    buffer -= x_rows
+    buffer[~observed_rows] = 0.0
+    return buffer
+
+
+def _step_v(
+    v: np.ndarray,
+    grad_v: np.ndarray,
+    lr: float,
+    ctx: KernelContext,
+    live: slice | None,
+) -> None:
+    """Projected step on the live part of ``V``, in place.
+
+    ``live`` is the live-column slice when the frozen cells are the
+    landmark prefix (``grad_v`` then only covers those columns); with a
+    general frozen mask the whole update is computed and the frozen
+    cells restored, exactly like the full-batch rules.
+    """
+    if live is not None:
+        np.maximum(v[:, live] - lr * grad_v, 0.0, out=v[:, live])
+        return
+    updated = np.maximum(v - lr * grad_v, 0.0)
+    if ctx.frozen_v is not None:
+        updated = np.where(ctx.frozen_v, v, updated)
+    v[...] = updated
+
+
+def _live_slice(ctx: KernelContext, n_cols: int) -> slice | None:
+    """Live-column slice under the landmark prefix layout, else ``None``.
+
+    ``None`` with ``frozen_v`` set means a general (non-prefix) frozen
+    mask; ``slice(0, None)`` means nothing is frozen at all.
+    """
+    if ctx.frozen_v is None:
+        return slice(0, None)
+    if ctx.frozen_prefix is None:
+        return None
+    return slice(min(ctx.frozen_prefix, n_cols), None)
+
+
+def _laplacian_rows(ctx: KernelContext, u: np.ndarray, batch: np.ndarray) -> np.ndarray:
+    """``(L @ U)[batch]`` without forming the full product.
+
+    Works for dense arrays and scipy sparse operators alike: both
+    support row slicing followed by ``@``.
+    """
+    return np.asarray(ctx.laplacian[batch] @ u)
+
+
+@register_kernel("sgd")
+class SGDKernel(UpdateKernel):
+    """Masked mini-batch projected SGD; one step = one epoch.
+
+    Per batch ``B`` (in schedule order): a projected-gradient step on
+    the rows ``U_B`` (including the spatial term ``2 lam (L U)_B`` when
+    the context carries a Laplacian), then a step on the live columns
+    of ``V`` from the batch gradient rescaled by ``N / |B|`` so it
+    estimates the *full* objective gradient — which is what makes the
+    ``batch_size=N`` case coincide with the ``gradient`` kernel.
+    """
+
+    def step(
+        self,
+        x_observed: np.ndarray,
+        observed: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        ctx: KernelContext,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        scheduler, workspace = _require_schedule(ctx, "sgd")
+        n, m = x_observed.shape
+        lr = scheduler.step_size(workspace.epoch)
+        live = _live_slice(ctx, v.shape[1])
+        u = u.copy()
+        v = v.copy()
+        sampled = 0.0
+        touched = 0
+        for batch in scheduler.batches(workspace.epoch):
+            rows = batch.shape[0]
+            x_rows = x_observed[batch]
+            observed_rows = observed[batch]
+            buffer = workspace.residual_buffer(rows, m)
+            residual = _masked_residual(buffer, u[batch], v, x_rows, observed_rows)
+            sampled += float(np.vdot(residual, residual))
+            grad_u = 2.0 * residual @ v.T
+            if ctx.lam != 0.0 and ctx.laplacian is not None:
+                grad_u += 2.0 * ctx.lam * _laplacian_rows(ctx, u, batch)
+            u_rows = np.maximum(u[batch] - lr * grad_u, 0.0)
+            u[batch] = u_rows
+            # V sees the refreshed residual at the updated batch rows —
+            # the same U-then-V sequencing as the full-batch kernels.
+            residual = _masked_residual(buffer, u_rows, v, x_rows, observed_rows)
+            scale = 2.0 * n / rows
+            if live is not None:
+                grad_v = scale * u_rows.T @ residual[:, live]
+            else:
+                grad_v = scale * u_rows.T @ residual
+            _step_v(v, grad_v, lr, ctx, live)
+            touched += rows
+        workspace.record_epoch(touched, sampled)
+        return u, v
+
+
+@register_kernel("svrg")
+class SVRGKernel(UpdateKernel):
+    """Mini-batch SVRG (anchor refreshed every epoch); one step = one epoch.
+
+    The epoch-start iterate ``(U~, V~)`` is snapshotted together with
+    its full masked residual and full data-term V-gradient ``mu_V``.
+    Each batch then steps ``V`` with the variance-reduced estimate
+    ``(N/|B|) (g_B(w) - g_B(w~)) + mu_V`` projected onto the
+    non-negative orthant; the landmark block stays frozen.  ``U`` rows
+    are separable, so their correction cancels identically and the
+    ``U`` step equals the SGD step (see module docstring).
+    """
+
+    def step(
+        self,
+        x_observed: np.ndarray,
+        observed: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        ctx: KernelContext,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        scheduler, workspace = _require_schedule(ctx, "svrg")
+        n, m = x_observed.shape
+        lr = scheduler.step_size(workspace.epoch)
+        live = _live_slice(ctx, v.shape[1])
+        # Epoch anchor: full residual + full data-term V gradient.
+        anchor_u = u.copy()
+        anchor_residual = np.where(observed, anchor_u @ v - x_observed, 0.0)
+        if live is not None:
+            anchor_grad_v = 2.0 * anchor_u.T @ anchor_residual[:, live]
+        else:
+            anchor_grad_v = 2.0 * anchor_u.T @ anchor_residual
+        workspace.anchor_u = anchor_u
+        workspace.anchor_residual = anchor_residual
+        workspace.anchor_grad_v = anchor_grad_v
+        u = u.copy()
+        v = v.copy()
+        sampled = 0.0
+        touched = 0
+        for batch in scheduler.batches(workspace.epoch):
+            rows = batch.shape[0]
+            x_rows = x_observed[batch]
+            observed_rows = observed[batch]
+            buffer = workspace.residual_buffer(rows, m)
+            residual = _masked_residual(buffer, u[batch], v, x_rows, observed_rows)
+            sampled += float(np.vdot(residual, residual))
+            grad_u = 2.0 * residual @ v.T
+            if ctx.lam != 0.0 and ctx.laplacian is not None:
+                grad_u += 2.0 * ctx.lam * _laplacian_rows(ctx, u, batch)
+            u_rows = np.maximum(u[batch] - lr * grad_u, 0.0)
+            u[batch] = u_rows
+            residual = _masked_residual(buffer, u_rows, v, x_rows, observed_rows)
+            scale = 2.0 * n / rows
+            anchor_rows = anchor_residual[batch]
+            if live is not None:
+                grad_v = (
+                    scale * (u_rows.T @ residual[:, live]
+                             - anchor_u[batch].T @ anchor_rows[:, live])
+                    + anchor_grad_v
+                )
+            else:
+                grad_v = (
+                    scale * (u_rows.T @ residual - anchor_u[batch].T @ anchor_rows)
+                    + anchor_grad_v
+                )
+            _step_v(v, grad_v, lr, ctx, live)
+            touched += rows
+        workspace.record_epoch(touched, sampled)
+        return u, v

@@ -95,9 +95,16 @@ class TestConvergenceMonitor:
 
     def test_validation(self):
         with pytest.raises(ValidationError):
-            ConvergenceMonitor(max_iter=0)
+            ConvergenceMonitor(max_iter=-1)
         with pytest.raises(ValidationError):
             ConvergenceMonitor(tol=-1.0)
+
+    def test_zero_budget_is_legal(self):
+        # A zero iteration budget means "run nothing", not an error;
+        # the engine returns the initial state with an empty history.
+        monitor = ConvergenceMonitor(max_iter=0)
+        assert not monitor.keep_going()
+        assert monitor.history == []
 
     def test_zero_tol_requires_strict_increase_to_stop(self):
         monitor = ConvergenceMonitor(max_iter=10, tol=0.0)

@@ -116,7 +116,7 @@ class TestIterativeEngine:
 
     def test_validation(self):
         with pytest.raises(ValidationError):
-            IterativeEngine(max_iter=0)
+            IterativeEngine(max_iter=-1)
         with pytest.raises(ValidationError):
             IterativeEngine(tol=-1.0)
         with pytest.raises(ValidationError):

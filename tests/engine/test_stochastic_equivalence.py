@@ -1,0 +1,122 @@
+"""Reduction tests: the stochastic kernels contain the full-batch gradient rule.
+
+With ``batch_size >= N``, shuffling off and no step decay, one epoch of
+``sgd`` is exactly one full projected-gradient iteration, and SVRG's
+variance-reduction correction vanishes (the single batch *is* the
+anchor), so both stochastic kernels must reproduce the deterministic
+``gradient`` kernel — same seeds, same factors.  The operation order in
+the kernels was matched deliberately, so the agreement is bit-exact,
+not merely to tolerance.
+
+A second layer keeps shuffling ON with one full-size batch: the
+permutation then only reorders the rows inside the single batch, which
+reorders floating-point summations but nothing else — the factors must
+agree to tight tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SMF, SMFL, MaskedNMF
+
+LR = 5e-3
+EPOCHS = 25
+SEED = 7
+RANK = 4
+
+MODELS = {
+    "nmf": lambda **kw: MaskedNMF(rank=RANK, random_state=SEED, **kw),
+    "smf": lambda **kw: SMF(rank=RANK, n_spatial=2, random_state=SEED, **kw),
+    "smfl": lambda **kw: SMFL(rank=RANK, n_spatial=2, random_state=SEED, **kw),
+}
+
+
+def fit_reference(family, x_missing, mask):
+    """Full-batch projected gradient descent, the deterministic target."""
+    model = MODELS[family](
+        update_rule="gradient", learning_rate=LR, max_iter=EPOCHS, tol=0.0
+    )
+    return model.fit(x_missing, mask)
+
+
+def fit_stochastic(family, x_missing, mask, rule, *, shuffle=False):
+    n_rows = np.asarray(x_missing).shape[0]
+    model = MODELS[family](
+        method="stochastic",
+        update_rule=rule,
+        learning_rate=LR,
+        lr_decay=0.0,
+        batch_size=n_rows,  # a single batch: the full-batch special case
+        shuffle=shuffle,
+        max_iter=EPOCHS,
+        tol=0.0,
+    )
+    return model.fit(x_missing, mask)
+
+
+@pytest.mark.parametrize("family", sorted(MODELS))
+@pytest.mark.parametrize("rule", ["sgd", "svrg"])
+class TestFullBatchReduction:
+    def test_factors_bit_identical_to_gradient_kernel(
+        self, family, rule, tiny_trial
+    ):
+        _, x_missing, mask = tiny_trial
+        reference = fit_reference(family, x_missing, mask)
+        stochastic = fit_stochastic(family, x_missing, mask, rule)
+        assert np.array_equal(stochastic.u_, reference.u_)
+        assert np.array_equal(stochastic.v_, reference.v_)
+
+    def test_shuffled_single_batch_agrees_to_tolerance(
+        self, family, rule, tiny_trial
+    ):
+        # Shuffling a single full-size batch permutes rows inside the
+        # batch: U rows are updated independently (identical values,
+        # permuted consistently) and the V gradient is a sum over rows,
+        # so only summation order can differ.
+        _, x_missing, mask = tiny_trial
+        reference = fit_reference(family, x_missing, mask)
+        stochastic = fit_stochastic(family, x_missing, mask, rule, shuffle=True)
+        np.testing.assert_allclose(
+            stochastic.u_, reference.u_, rtol=1e-9, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            stochastic.v_, reference.v_, rtol=1e-9, atol=1e-12
+        )
+
+
+class TestStochasticDeterminism:
+    """Same ``random_state`` => identical schedule => identical factors."""
+
+    @pytest.mark.parametrize("rule", ["sgd", "svrg"])
+    def test_refit_reproduces_factors(self, rule, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        def run():
+            model = MODELS["smfl"](
+                method="stochastic", update_rule=rule, learning_rate=LR,
+                batch_size=16, max_iter=10, tol=0.0,
+            )
+            return model.fit(x_missing, mask)
+
+        first, second = run(), run()
+        assert np.array_equal(first.u_, second.u_)
+        assert np.array_equal(first.v_, second.v_)
+        assert (
+            first.fit_report_.rows_touched == second.fit_report_.rows_touched
+        )
+        assert (
+            first.fit_report_.sampled_objectives
+            == second.fit_report_.sampled_objectives
+        )
+
+    def test_same_initial_factors_as_batch_path(self, tiny_trial):
+        # The scheduler seed is drawn *after* factor initialisation, so
+        # batch and stochastic fits share U0/V0 for one random_state.
+        _, x_missing, mask = tiny_trial
+        batch = MODELS["nmf"](max_iter=0).fit(x_missing, mask)
+        stochastic = MODELS["nmf"](
+            method="stochastic", max_iter=0, learning_rate=LR
+        ).fit(x_missing, mask)
+        assert np.array_equal(batch.u_, stochastic.u_)
+        assert np.array_equal(batch.v_, stochastic.v_)

@@ -1,0 +1,87 @@
+"""Tests for the telemetry-driven timing/benchmark helpers.
+
+The full-size benchmark configurations live behind ``-m slow`` (they
+exist to refresh ``results/BENCH_*.json``, not to gate commits); the
+fast tests here run the same code paths on tiny settings and pin the
+recorded schema, including the acceptance flags of the stochastic
+benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import MaskedNMF
+from repro.engine.timing import (
+    engine_benchmark,
+    record_stochastic_baseline,
+    stochastic_benchmark,
+    telemetry_seconds,
+    timed_fit_impute,
+)
+
+TINY_STOCHASTIC = dict(
+    dataset="lake", n_rows=80, rank=4, epochs=10, batch_size=32,
+    learning_rate=0.02, lr_decay=0.05, seed=0,
+)
+
+
+class TestTelemetryHelpers:
+    def test_engine_driven_method_uses_its_own_clock(self, tiny_trial):
+        _, x_missing, mask = tiny_trial
+        model = MaskedNMF(rank=3, max_iter=10, random_state=0)
+        estimate, seconds, report = timed_fit_impute(model, x_missing, mask)
+        assert estimate.shape == x_missing.shape
+        assert report is not None
+        assert seconds == report.total_seconds
+        assert telemetry_seconds(model) == report.total_seconds
+
+    def test_one_shot_method_falls_back_to_stopwatch(self, tiny_trial):
+        from repro.baselines.meanimpute import MeanImputer
+
+        _, x_missing, mask = tiny_trial
+        _, seconds, report = timed_fit_impute(MeanImputer(), x_missing, mask)
+        assert report is None
+        assert seconds >= 0
+        assert telemetry_seconds(MeanImputer()) is None
+
+
+class TestStochasticBenchmark:
+    def test_schema_and_acceptance_flags(self):
+        out = stochastic_benchmark(**TINY_STOCHASTIC)
+        for side in ("full_batch", "stochastic"):
+            entry = out[side]
+            assert entry["rms"] > 0
+            assert entry["total_row_updates"] > 0
+            assert entry["row_updates_per_unit_decrease"] > 0
+        assert out["stochastic"]["landmark_block_intact"] is True
+        assert out["rms_ratio"] > 0
+        assert set(out["acceptance"]) == {
+            "rms_within_5pct",
+            "ge_2x_fewer_row_updates_per_unit_decrease",
+            "landmark_block_intact_every_epoch",
+        }
+        # Per-epoch sampling without replacement on the tiny config.
+        assert out["stochastic"]["n_iter"] == TINY_STOCHASTIC["epochs"]
+
+    def test_record_writes_json(self, tmp_path):
+        path = tmp_path / "BENCH_stochastic.json"
+        recorded = record_stochastic_baseline(path=str(path), **TINY_STOCHASTIC)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["dataset"] == "lake"
+        assert on_disk["acceptance"] == recorded["acceptance"]
+        assert "python" in on_disk and "machine" in on_disk
+
+
+@pytest.mark.slow
+class TestFullSizeBenchmarks:
+    """Near-paper-size configurations; excluded from the coverage gate."""
+
+    def test_engine_benchmark_rows(self):
+        out = engine_benchmark(row_counts=(150, 300), max_iter=40)
+        assert set(out["rows"]) == {"150", "300"}
+        for entry in out["rows"].values():
+            assert entry["smfl_per_iter_speedup"] > 0
+            assert entry["smf"]["n_iter"] >= 1
