@@ -17,10 +17,16 @@ This module provides:
   mini-batch SMFL against the full-batch multiplicative baseline on the
   Economic-shaped dataset: RMSE parity, row-updates per unit objective
   decrease, and the landmark-frozenness telemetry verdict, persisted as
-  ``BENCH_stochastic.json``.
+  ``BENCH_stochastic.json``;
+- :func:`runner_benchmark` / :func:`record_runner_baseline` - the
+  :mod:`repro.runner` orchestration layer on a Table IV grid: serial
+  baseline vs process fan-out vs warm content-addressed cache, with
+  bit-identity and cache-hit-ratio acceptance flags, persisted as
+  ``BENCH_runner.json``.
 
 Run ``PYTHONPATH=src python -m repro.engine.timing`` to refresh the
-full-batch baseline, or ``... --stochastic`` for the stochastic one.
+full-batch baseline, ``... --stochastic`` for the stochastic one, or
+``... --runner`` for the runner one.
 """
 
 from __future__ import annotations
@@ -41,6 +47,8 @@ __all__ = [
     "record_baseline",
     "stochastic_benchmark",
     "record_stochastic_baseline",
+    "runner_benchmark",
+    "record_runner_baseline",
 ]
 
 
@@ -278,6 +286,100 @@ def record_stochastic_baseline(
     return results
 
 
+def runner_benchmark(
+    *,
+    experiment: str = "table4",
+    methods: tuple[str, ...] = ("knn", "mc", "softimpute", "nmf", "smf", "smfl"),
+    datasets: tuple[str, ...] = ("lake", "vehicle"),
+    missing_rate: float = 0.1,
+    n_runs: int = 3,
+    fast: bool = True,
+    jobs: int = 4,
+    cache_dir: str | None = None,
+) -> dict[str, Any]:
+    """The :mod:`repro.runner` layer's speedup and cache economics.
+
+    Runs the same Table IV-shaped grid three ways and compares:
+
+    1. **serial** - ``jobs=1``, cache-free: the legacy regenerator
+       path and the correctness baseline;
+    2. **cold** - ``jobs`` workers against an empty content-addressed
+       cache: the fan-out path (every cell a cache miss);
+    3. **warm** - the same config again: every deterministic cell is
+       served from the cache, no fit runs at all.
+
+    Acceptance flags recorded: all three assembled tables are
+    *bit-identical* (the runner's core guarantee), the warm run hits
+    the cache on every cell, and the warm wall time is under 10% of
+    the cold one.  ``cache_dir=None`` benchmarks against a throwaway
+    temp directory so ``results/cache`` is never polluted.
+    """
+    import tempfile
+
+    from ..runner import RunnerConfig, run_grid
+    from ..runner.grids import build_grid
+
+    grid = build_grid(
+        experiment,
+        methods=methods,
+        datasets=datasets,
+        missing_rate=missing_rate,
+        n_runs=n_runs,
+        fast=fast,
+    )
+
+    def _measure(config: RunnerConfig | None) -> tuple[Any, dict[str, Any]]:
+        outcome = run_grid(grid, config)
+        manifest = outcome.manifest
+        cache = manifest["cache"]
+        return outcome.value, {
+            "wall_seconds": manifest["total_wall_seconds"],
+            "jobs": manifest["jobs"],
+            "cache_hits": cache.get("hits", 0),
+            "cache_misses": cache.get("misses", 0),
+            "cache_hit_ratio": cache.get("hit_ratio"),
+        }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = cache_dir or f"{tmp}/cache"
+        serial_value, serial = _measure(None)
+        cold_value, cold = _measure(RunnerConfig(jobs=jobs, cache_dir=directory))
+        warm_value, warm = _measure(RunnerConfig(jobs=jobs, cache_dir=directory))
+
+    bit_identical = serial_value == cold_value == warm_value
+    warm_over_cold = warm["wall_seconds"] / max(cold["wall_seconds"], 1e-12)
+    return {
+        "experiment": experiment,
+        "methods": list(methods),
+        "datasets": list(datasets),
+        "missing_rate": missing_rate,
+        "n_runs": n_runs,
+        "fast": fast,
+        "n_cells": len(grid),
+        "serial": serial,
+        "cold": cold,
+        "warm": warm,
+        "parallel_speedup_over_serial": (
+            serial["wall_seconds"] / max(cold["wall_seconds"], 1e-12)
+        ),
+        "warm_over_cold": warm_over_cold,
+        "acceptance": {
+            "parallel_and_warm_bit_identical_to_serial": bool(bit_identical),
+            "warm_cache_hit_ratio_1": warm["cache_hit_ratio"] == 1.0,
+            "warm_under_10pct_of_cold": bool(warm_over_cold < 0.10),
+        },
+    }
+
+
+def record_runner_baseline(
+    path: str = "results/BENCH_runner.json", **kwargs: Any
+) -> dict[str, Any]:
+    """Run :func:`runner_benchmark` and write the result as JSON."""
+    results = runner_benchmark(**kwargs)
+    _write_json(path, results)
+    return results
+
+
 if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
     import argparse
 
@@ -289,8 +391,27 @@ if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
         "(writes results/BENCH_stochastic.json) instead of the "
         "engine baseline",
     )
+    parser.add_argument(
+        "--runner",
+        action="store_true",
+        help="run the experiment-runner benchmark - serial vs "
+        "parallel vs warm cache on a Table IV grid (writes "
+        "results/BENCH_runner.json)",
+    )
     cli_args = parser.parse_args()
-    if cli_args.stochastic:
+    if cli_args.runner:
+        recorded = record_runner_baseline()
+        print(
+            f"{recorded['n_cells']} cells: "
+            f"serial {recorded['serial']['wall_seconds']:.2f}s, "
+            f"cold x{recorded['cold']['jobs']} "
+            f"{recorded['cold']['wall_seconds']:.2f}s, "
+            f"warm {recorded['warm']['wall_seconds']:.3f}s "
+            f"({recorded['warm_over_cold']:.1%} of cold, "
+            f"hit ratio {recorded['warm']['cache_hit_ratio']})"
+        )
+        print(f"acceptance: {recorded['acceptance']}")
+    elif cli_args.stochastic:
         recorded = record_stochastic_baseline()
         print(
             f"full-batch rms {recorded['full_batch']['rms']:.4f} "

@@ -3,19 +3,34 @@
 Usage::
 
     python -m repro.experiments list
-    python -m repro.experiments table4 [--fast] [--runs N]
-    python -m repro.experiments figure6 --fast
+    python -m repro.experiments table4 [--fast] [--runs N] [--jobs N]
+    python -m repro.experiments "Table IV" --jobs 4
+    python -m repro.experiments figure6 --fast --no-cache
+
+Every run goes through :mod:`repro.runner`: cells fan out across
+``--jobs`` worker processes, completed cells are served from the
+content-addressed cache under ``--cache-dir`` (skip with
+``--no-cache``; recompute-and-refresh with ``--no-resume``), and a
+structured run manifest is written next to the results (suppress with
+``--no-manifest``).  The table/figure itself goes to stdout - bit
+-identical whatever the job count or cache temperature - while the
+run telemetry line goes to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
-from .registry import EXPERIMENTS, run_experiment
+from ..runner import RunnerConfig
+from .registry import EXPERIMENTS, normalize_experiment_name, run_experiment
 from .reporting import format_series, format_table
+
+DEFAULT_CACHE_DIR = "results/cache"
+DEFAULT_MANIFEST_DIR = "results/manifests"
 
 
 def _print_result(name: str, result: object) -> None:
@@ -48,7 +63,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. table4, figure6) or 'list'",
+        help="experiment id (e.g. table4, 'Table IV', figure6) or 'list'",
     )
     parser.add_argument(
         "--fast", action="store_true",
@@ -58,6 +73,32 @@ def main(argv: list[str] | None = None) -> int:
         "--runs", type=int, default=None,
         help="override the number of repetitions (paper: 5)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the cell grid (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"content-addressed result cache (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache entirely (nothing read or written)",
+    )
+    parser.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore cached cells (recompute everything) but refresh "
+        "the cache with the fresh results",
+    )
+    parser.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="run-manifest path (default: "
+        f"{DEFAULT_MANIFEST_DIR}/<experiment>.json)",
+    )
+    parser.add_argument(
+        "--no-manifest", action="store_true",
+        help="skip writing the run manifest",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -65,11 +106,40 @@ def main(argv: list[str] | None = None) -> int:
             print(name)  # noqa: T201
         return 0
 
-    kwargs: dict[str, object] = {"fast": args.fast}
-    if args.runs is not None and args.experiment not in ("figure5", "figure9"):
+    name = normalize_experiment_name(args.experiment)
+    manifest_path = None
+    if not args.no_manifest:
+        manifest_path = args.manifest or f"{DEFAULT_MANIFEST_DIR}/{name}.json"
+    config = RunnerConfig(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        resume=not args.no_resume,
+        manifest_path=manifest_path,
+    )
+
+    kwargs: dict[str, object] = {"fast": args.fast, "runner": config}
+    if args.runs is not None and name not in ("figure5", "figure9"):
         kwargs["n_runs"] = args.runs
     result = run_experiment(args.experiment, **kwargs)
-    _print_result(args.experiment, result)
+    _print_result(name, result)
+    if manifest_path is not None:
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            manifest = None
+        if manifest is not None:
+            cache = manifest.get("cache", {})
+            hits = cache.get("hits", 0)
+            misses = cache.get("misses", 0)
+            print(  # noqa: T201
+                f"[runner] {name}: {manifest.get('n_cells')} cells, "
+                f"jobs={manifest.get('jobs')}, cache hits={hits} "
+                f"misses={misses}, "
+                f"{manifest.get('total_wall_seconds', 0.0):.2f}s "
+                f"(manifest: {manifest_path})",
+                file=sys.stderr,
+            )
     return 0
 
 

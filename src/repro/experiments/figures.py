@@ -3,25 +3,25 @@
 Each function returns plain dictionaries of series (no plotting
 dependencies); the benchmarks print them, and callers can plot them
 with any tool.
+
+Like the tables, every figure expands into a runner grid and executes
+through :func:`~repro.runner.run_grid`; the default (``runner=None``)
+is the serial, cache-free, bit-identical path.  Figure 9's cells are
+wall-clock measurements and therefore *volatile*: they are never
+cached, so a warm cache re-times rather than replaying stale seconds.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..apps.clustering import clustering_application_accuracy
-from ..apps.routing import generate_routes, route_planning_error
-from ..baselines.registry import make_imputer
-from ..core.smf import SMF
-from ..core.smfl import SMFL
-from ..data.registry import load_dataset
-from ..engine.timing import timed_fit_impute
-from ..masking.injection import MissingSpec, inject_missing
-from .protocol import (
-    DATASET_RANKS,
-    DATASET_SEEDS,
-    average_rms,
-    prepare_trial,
+from ..runner import RunnerConfig, run_grid
+from ..runner.grids import (
+    figure_4a_grid,
+    figure_4b_grid,
+    figure_5_grid,
+    figure_6_grid,
+    figure_7_grid,
+    figure_8_grid,
+    figure_9_grid,
 )
 
 __all__ = [
@@ -51,6 +51,7 @@ def figure_4a(
     n_routes: int = 30,
     route_length: int = 8,
     fast: bool = False,
+    runner: RunnerConfig | None = None,
 ) -> dict[str, float]:
     """Figure 4a: accumulated fuel-consumption error per method.
 
@@ -58,34 +59,11 @@ def figure_4a(
     column, then simulate routes and compare accumulated consumption
     against the ground-truth rates.
     """
-    results: dict[str, list[float]] = {m: [] for m in methods}
-    for seed in range(n_runs):
-        trial = prepare_trial(
-            "vehicle", missing_rate=missing_rate, seed=seed, fast=fast
-        )
-        dataset = trial.dataset
-        fuel_col = dataset.column_names.index("fuel_consumption_rate")
-        locations = dataset.spatial
-        routes = generate_routes(
-            locations, n_routes, route_length=route_length, random_state=seed
-        )
-        for method in methods:
-            imputer = make_imputer(
-                method,
-                n_spatial=dataset.n_spatial,
-                rank=DATASET_RANKS["vehicle"],
-                random_state=seed,
-            )
-            estimate = imputer.fit_impute(trial.x_missing, trial.mask)
-            results[method].append(
-                route_planning_error(
-                    routes,
-                    locations,
-                    dataset.values[:, fuel_col],
-                    estimate[:, fuel_col],
-                )
-            )
-    return {m: float(np.mean(v)) for m, v in results.items()}
+    grid = figure_4a_grid(
+        methods=tuple(methods), missing_rate=missing_rate, n_runs=n_runs,
+        n_routes=n_routes, route_length=route_length, fast=fast,
+    )
+    return run_grid(grid, runner).value
 
 
 def figure_4b(
@@ -94,6 +72,7 @@ def figure_4b(
     missing_rate: float = 0.1,
     n_runs: int = 5,
     fast: bool = False,
+    runner: RunnerConfig | None = None,
 ) -> dict[str, float]:
     """Figure 4b: clustering accuracy of the MF-family methods on Lake.
 
@@ -101,32 +80,11 @@ def figure_4b(
     K-means (the classic SVD-based clustering baseline [44]); the
     factorization models cluster through their coefficient matrix U.
     """
-    results: dict[str, list[float]] = {m: [] for m in methods}
-    for seed in range(n_runs):
-        trial = prepare_trial("lake", missing_rate=missing_rate, seed=seed, fast=fast)
-        dataset = trial.dataset
-        assert dataset.labels is not None
-        for method in methods:
-            if method == "pca":
-                imputer = make_imputer("mean", random_state=seed)
-                accuracy = clustering_application_accuracy(
-                    imputer, trial.x_missing, trial.mask, dataset.labels,
-                    pca_components=min(3, dataset.n_cols - 1), random_state=seed,
-                )
-            else:
-                imputer = make_imputer(
-                    method,
-                    n_spatial=dataset.n_spatial,
-                    rank=DATASET_RANKS["lake"],
-                    random_state=seed,
-                )
-                use_u = method in ("nmf", "smf", "smfl")
-                accuracy = clustering_application_accuracy(
-                    imputer, trial.x_missing, trial.mask, dataset.labels,
-                    use_coefficients=use_u, random_state=seed,
-                )
-            results[method].append(accuracy)
-    return {m: float(np.mean(v)) for m, v in results.items()}
+    grid = figure_4b_grid(
+        methods=tuple(methods), missing_rate=missing_rate,
+        n_runs=n_runs, fast=fast,
+    )
+    return run_grid(grid, runner).value
 
 
 def figure_5(
@@ -136,6 +94,7 @@ def figure_5(
     missing_rate: float = 0.1,
     seed: int = 0,
     fast: bool = False,
+    runner: RunnerConfig | None = None,
 ) -> dict[str, object]:
     """Figure 5: learned feature locations of SMF-GD, SMF-Multi, SMFL.
 
@@ -144,63 +103,11 @@ def figure_5(
     the fraction of features inside the observation bounding box - the
     quantitative version of the figure's visual claim.
     """
-    trial = prepare_trial(dataset, missing_rate=missing_rate, seed=seed, fast=fast)
-    data = trial.dataset
-    observations = data.spatial
-    box_low = observations.min(axis=0)
-    box_high = observations.max(axis=0)
-
-    def inside_fraction(points: np.ndarray) -> float:
-        inside = ((points >= box_low) & (points <= box_high)).all(axis=1)
-        return float(inside.mean())
-
-    models = {
-        "smf_gd": SMF(rank=rank, n_spatial=data.n_spatial, update_rule="gradient",
-                      learning_rate=1e-3, random_state=seed),
-        "smf_multi": SMF(rank=rank, n_spatial=data.n_spatial, random_state=seed),
-        "smfl": SMFL(rank=rank, n_spatial=data.n_spatial, random_state=seed),
-    }
-    out: dict[str, object] = {
-        "bounding_box": (box_low.tolist(), box_high.tolist()),
-        "observations": observations,
-    }
-    for label, model in models.items():
-        model.fit(trial.x_missing, trial.mask)
-        locations = model.feature_locations()
-        out[f"{label}_locations"] = locations
-        out[f"{label}_inside_fraction"] = inside_fraction(locations)
-    return out
-
-
-def _sweep(
-    parameter: str,
-    values: tuple[float, ...],
-    *,
-    datasets: tuple[str, ...],
-    methods: tuple[str, ...],
-    missing_rate: float,
-    n_runs: int,
-    fast: bool,
-) -> dict[str, dict[str, float]]:
-    """Shared sweep driver for Figures 6 (lam), 7 (p) and 8 (K)."""
-    results: dict[str, dict[str, float]] = {}
-    for name in datasets:
-        for method in methods:
-            row: dict[str, float] = {}
-            for value in values:
-                if parameter == "rank":
-                    rms = average_rms(
-                        method, name, missing_rate=missing_rate,
-                        n_runs=n_runs, rank=int(value), fast=fast,
-                    )
-                else:
-                    rms = average_rms(
-                        method, name, missing_rate=missing_rate, n_runs=n_runs,
-                        overrides={parameter: value}, fast=fast,
-                    )
-                row[str(value)] = rms
-            results[f"{name}/{method}"] = row
-    return results
+    grid = figure_5_grid(
+        dataset=dataset, rank=rank, missing_rate=missing_rate,
+        seed=seed, fast=fast,
+    )
+    return run_grid(grid, runner).value
 
 
 def figure_6(
@@ -210,12 +117,14 @@ def figure_6(
     missing_rate: float = 0.1,
     n_runs: int = 3,
     fast: bool = False,
+    runner: RunnerConfig | None = None,
 ) -> dict[str, dict[str, float]]:
     """Figure 6: RMS of SMF and SMFL while varying lambda."""
-    return _sweep(
-        "lam", lams, datasets=datasets, methods=("smf", "smfl"),
+    grid = figure_6_grid(
+        datasets=tuple(datasets), lams=tuple(lams),
         missing_rate=missing_rate, n_runs=n_runs, fast=fast,
     )
+    return run_grid(grid, runner).value
 
 
 def figure_7(
@@ -225,13 +134,14 @@ def figure_7(
     missing_rate: float = 0.1,
     n_runs: int = 3,
     fast: bool = False,
+    runner: RunnerConfig | None = None,
 ) -> dict[str, dict[str, float]]:
     """Figure 7: RMS of SMF and SMFL while varying the neighbour count p."""
-    return _sweep(
-        "p_neighbors", tuple(int(p) for p in ps), datasets=datasets,
-        methods=("smf", "smfl"), missing_rate=missing_rate,
-        n_runs=n_runs, fast=fast,
+    grid = figure_7_grid(
+        datasets=tuple(datasets), ps=tuple(ps),
+        missing_rate=missing_rate, n_runs=n_runs, fast=fast,
     )
+    return run_grid(grid, runner).value
 
 
 def figure_8(
@@ -241,16 +151,18 @@ def figure_8(
     missing_rate: float = 0.1,
     n_runs: int = 3,
     fast: bool = False,
+    runner: RunnerConfig | None = None,
 ) -> dict[str, dict[str, float]]:
     """Figure 8: RMS of SMFL while varying the landmark count K.
 
     K is capped by ``min(N, M)``; for the 13-column datasets larger
     values are admissible (pass a wider ``ranks`` tuple).
     """
-    return _sweep(
-        "rank", tuple(float(r) for r in ranks), datasets=datasets,
-        methods=("smfl",), missing_rate=missing_rate, n_runs=n_runs, fast=fast,
+    grid = figure_8_grid(
+        datasets=tuple(datasets), ranks=tuple(ranks),
+        missing_rate=missing_rate, n_runs=n_runs, fast=fast,
     )
+    return run_grid(grid, runner).value
 
 
 def figure_9(
@@ -261,6 +173,7 @@ def figure_9(
     missing_rate: float = 0.1,
     seed: int = 0,
     fast: bool = False,
+    runner: RunnerConfig | None = None,
 ) -> dict[str, dict[str, float]]:
     """Figure 9: wall-clock seconds per method while varying #tuples.
 
@@ -272,29 +185,8 @@ def figure_9(
     """
     if fast:
         row_counts = tuple(r for r in row_counts if r <= 300)
-    results: dict[str, dict[str, float]] = {}
-    for name in datasets:
-        for method in methods:
-            row: dict[str, float] = {}
-            for n_rows in row_counts:
-                dataset = load_dataset(
-                    name, n_rows=n_rows, random_state=DATASET_SEEDS[name]
-                )
-                x_missing, mask = inject_missing(
-                    dataset.values,
-                    MissingSpec(
-                        missing_rate=missing_rate,
-                        columns=dataset.attribute_columns,
-                    ),
-                    random_state=seed,
-                )
-                imputer = make_imputer(
-                    method,
-                    n_spatial=dataset.n_spatial,
-                    rank=DATASET_RANKS[name],
-                    random_state=seed,
-                )
-                _, seconds, _ = timed_fit_impute(imputer, x_missing, mask)
-                row[str(n_rows)] = seconds
-            results[f"{name}/{method}"] = row
-    return results
+    grid = figure_9_grid(
+        datasets=tuple(datasets), row_counts=tuple(row_counts),
+        methods=tuple(methods), missing_rate=missing_rate, seed=seed,
+    )
+    return run_grid(grid, runner).value

@@ -1,13 +1,24 @@
-"""Experiment registry: name -> regenerator, for the CLI and benches."""
+"""Experiment registry: name -> regenerator, for the CLI and benches.
+
+Dispatch accepts the canonical ids (``table4`` ... ``figure9``) and the
+paper's own spellings: ``"Table IV"``, ``"figure 9"``, ``"Fig. 4a"``,
+``"TABLE_7"`` all normalise to their canonical id via
+:func:`normalize_experiment_name` - case, whitespace, separators, a
+``fig``/``tbl`` prefix, and the tables' roman numerals are all
+tolerated.  Unknown names raise a
+:class:`~repro.exceptions.ValidationError` that reports both the input
+and the normalised form, so a near-miss is easy to spot.
+"""
 
 from __future__ import annotations
 
+import re
 from typing import Callable
 
 from ..exceptions import ValidationError
 from . import figures, tables
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = ["EXPERIMENTS", "normalize_experiment_name", "run_experiment"]
 
 EXPERIMENTS: dict[str, Callable[..., object]] = {
     "table4": tables.table_iv,
@@ -24,12 +35,43 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
 }
 """Every table/figure regenerator, keyed by its paper id."""
 
+_ROMAN_NUMERALS: dict[str, str] = {"iv": "4", "v": "5", "vi": "6", "vii": "7"}
+"""The paper's table numerals (Tables IV-VII)."""
+
+_PREFIXES: dict[str, str] = {
+    "table": "table", "tbl": "table", "figure": "figure", "fig": "figure",
+}
+
+
+def normalize_experiment_name(name: object) -> str:
+    """Canonicalise a paper-style experiment name.
+
+    Lower-cases, strips whitespace and ``.``/``_``/``-`` separators,
+    expands the ``fig``/``tbl`` prefixes, and converts the tables'
+    roman numerals: ``"Table IV" -> "table4"``, ``"Fig. 9" ->
+    "figure9"``.  Names that match no known pattern come back merely
+    cleaned, so the caller's error message can show what was tried.
+    """
+    key = re.sub(r"[\s._\-]+", "", str(name).strip().lower())
+    match = re.fullmatch(r"(table|tbl|figure|fig)(.*)", key)
+    if match:
+        prefix, rest = match.groups()
+        key = _PREFIXES[prefix] + _ROMAN_NUMERALS.get(rest, rest)
+    return key
+
 
 def run_experiment(name: str, **kwargs: object) -> object:
-    """Run one registered experiment by paper id (e.g. ``"table4"``)."""
-    key = str(name).lower()
+    """Run one registered experiment by paper id or paper-style alias.
+
+    ``run_experiment("table4")``, ``run_experiment("Table IV")`` and
+    ``run_experiment("table iv")`` are the same call.  Keyword
+    arguments (including the runner's ``runner=RunnerConfig(...)``)
+    pass through to the regenerator.
+    """
+    key = normalize_experiment_name(name)
     if key not in EXPERIMENTS:
         raise ValidationError(
-            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+            f"unknown experiment {name!r} (normalized: {key!r}); "
+            f"available: {', '.join(sorted(EXPERIMENTS))}"
         )
     return EXPERIMENTS[key](**kwargs)

@@ -3,16 +3,25 @@
 Each function returns ``{row_label: {column_label: value}}`` so the
 benchmarks and the CLI can print them uniformly with
 :func:`repro.experiments.reporting.format_table`.
+
+Since the runner subsystem landed, every regenerator expands into a
+:class:`~repro.runner.RunGrid` of independent cells and executes
+through :func:`~repro.runner.run_grid`.  Called without a ``runner``
+config (the default, and what the library API always did) this is the
+serial, cache-free path, bit-identical to the historical loops; the CLI
+passes a :class:`~repro.runner.RunnerConfig` to fan cells out across
+processes, reuse the content-addressed cache, and write a run manifest.
 """
 
 from __future__ import annotations
 
-from ..repair.baran import BaranRepairer
-from ..repair.holoclean import HoloCleanRepairer
-from ..repair.mf_repair import MFRepairer
-from ..baselines.registry import make_imputer
-from ..metrics.rms import rms_over_mask
-from .protocol import DATASET_RANKS, average_rms, prepare_trial
+from ..runner import RunnerConfig, run_grid
+from ..runner.grids import (
+    table_iv_grid,
+    table_v_grid,
+    table_vi_grid,
+    table_vii_grid,
+)
 
 __all__ = [
     "TABLE_IV_METHODS",
@@ -40,18 +49,14 @@ def table_iv(
     missing_rate: float = 0.1,
     n_runs: int = 5,
     fast: bool = False,
+    runner: RunnerConfig | None = None,
 ) -> dict[str, dict[str, float]]:
     """Table IV: imputation RMS, methods x datasets, missing rate 10%."""
-    results: dict[str, dict[str, float]] = {}
-    for name in datasets:
-        results[name] = {
-            method: average_rms(
-                method, name,
-                missing_rate=missing_rate, n_runs=n_runs, fast=fast,
-            )
-            for method in methods
-        }
-    return results
+    grid = table_iv_grid(
+        methods=tuple(methods), datasets=tuple(datasets),
+        missing_rate=missing_rate, n_runs=n_runs, fast=fast,
+    )
+    return run_grid(grid, runner).value
 
 
 def table_v(
@@ -61,19 +66,14 @@ def table_v(
     missing_rate: float = 0.1,
     n_runs: int = 5,
     fast: bool = False,
+    runner: RunnerConfig | None = None,
 ) -> dict[str, dict[str, float]]:
     """Table V: imputation RMS when spatial information is also missing."""
-    results: dict[str, dict[str, float]] = {}
-    for name in datasets:
-        results[name] = {
-            method: average_rms(
-                method, name,
-                missing_rate=missing_rate, n_runs=n_runs,
-                spatial_missing=True, fast=fast,
-            )
-            for method in methods
-        }
-    return results
+    grid = table_v_grid(
+        methods=tuple(methods), datasets=tuple(datasets),
+        missing_rate=missing_rate, n_runs=n_runs, fast=fast,
+    )
+    return run_grid(grid, runner).value
 
 
 def table_vi(
@@ -82,38 +82,14 @@ def table_vi(
     error_rate: float = 0.1,
     n_runs: int = 5,
     fast: bool = False,
+    runner: RunnerConfig | None = None,
 ) -> dict[str, dict[str, float]]:
     """Table VI: repair RMS for Baran, HoloClean, NMF, SMF, SMFL."""
-    results: dict[str, dict[str, float]] = {}
-    for name in datasets:
-        per_method: dict[str, list[float]] = {
-            m: [] for m in ("baran", "holoclean", "nmf", "smf", "smfl")
-        }
-        for seed in range(n_runs):
-            trial = prepare_trial(
-                name, missing_rate=error_rate, seed=seed, task="repair", fast=fast
-            )
-            dataset = trial.dataset
-            rank = DATASET_RANKS[name]
-            repairers = {
-                "baran": BaranRepairer(random_state=seed),
-                "holoclean": HoloCleanRepairer(),
-                "nmf": MFRepairer(make_imputer(
-                    "nmf", n_spatial=dataset.n_spatial, rank=rank, random_state=seed)),
-                "smf": MFRepairer(make_imputer(
-                    "smf", n_spatial=dataset.n_spatial, rank=rank, random_state=seed)),
-                "smfl": MFRepairer(make_imputer(
-                    "smfl", n_spatial=dataset.n_spatial, rank=rank, random_state=seed)),
-            }
-            for method, repairer in repairers.items():
-                fixed = repairer.repair(trial.x_missing, trial.mask)
-                per_method[method].append(
-                    rms_over_mask(fixed, dataset.values, trial.mask)
-                )
-        results[name] = {
-            m: float(sum(v) / len(v)) for m, v in per_method.items()
-        }
-    return results
+    grid = table_vi_grid(
+        datasets=tuple(datasets), error_rate=error_rate,
+        n_runs=n_runs, fast=fast,
+    )
+    return run_grid(grid, runner).value
 
 
 def table_vii(
@@ -122,18 +98,14 @@ def table_vii(
     missing_rates: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5),
     n_runs: int = 5,
     fast: bool = False,
+    runner: RunnerConfig | None = None,
 ) -> dict[str, dict[str, float]]:
     """Table VII: NMF/SMF/SMFL RMS across missing rates 10-50%.
 
     Row labels are ``"<dataset>/<method>"``, columns the rates.
     """
-    results: dict[str, dict[str, float]] = {}
-    for name in datasets:
-        for method in ("nmf", "smf", "smfl"):
-            row: dict[str, float] = {}
-            for rate in missing_rates:
-                row[f"{int(rate * 100)}%"] = average_rms(
-                    method, name, missing_rate=rate, n_runs=n_runs, fast=fast
-                )
-            results[f"{name}/{method}"] = row
-    return results
+    grid = table_vii_grid(
+        datasets=tuple(datasets), missing_rates=tuple(missing_rates),
+        n_runs=n_runs, fast=fast,
+    )
+    return run_grid(grid, runner).value

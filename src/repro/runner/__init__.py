@@ -1,0 +1,49 @@
+"""Parallel, cached experiment runner.
+
+The orchestration layer between the experiment regenerators and the
+solvers: every registered table/figure expands into a flat grid of
+``(dataset, method, missing rate, seed)`` cells
+(:mod:`~repro.runner.grids`), which :func:`run_grid` executes serially
+or across a process pool, serves from a content-addressed on-disk cache
+(:mod:`~repro.runner.cache`), and documents in a structured run
+manifest (:mod:`~repro.runner.manifest`).
+
+Guarantees:
+
+- **bit-identity** - the serial, cache-free path computes exactly what
+  the pre-runner regenerators computed, and parallel execution cannot
+  change any deterministic value because every seed is baked into the
+  grid at expansion time, never derived from a worker;
+- **content-addressed resumption** - a cell's cache key is the SHA-256
+  of its canonical config plus the package version, so identical cells
+  are shared across experiments and interrupted runs resume for free;
+- **observability** - manifests record per-cell wall time, cache
+  hit/miss telemetry, and engine ``FitReport`` summaries.
+"""
+
+from .cache import ResultCache, cache_key, canonical_json
+from .cells import CELL_KINDS, run_cell, summarize_fit
+from .execute import RunOutcome, execute_cell, run_grid
+from .grids import GRID_BUILDERS, build_grid
+from .manifest import build_manifest, stable_manifest, write_manifest
+from .spec import RunGrid, RunnerConfig, RunSpec
+
+__all__ = [
+    "RunSpec",
+    "RunGrid",
+    "RunnerConfig",
+    "RunOutcome",
+    "ResultCache",
+    "cache_key",
+    "canonical_json",
+    "CELL_KINDS",
+    "run_cell",
+    "summarize_fit",
+    "execute_cell",
+    "run_grid",
+    "GRID_BUILDERS",
+    "build_grid",
+    "build_manifest",
+    "stable_manifest",
+    "write_manifest",
+]

@@ -1,0 +1,131 @@
+"""Content-addressed on-disk cache for experiment cells.
+
+A cell's cache key is the SHA-256 of its canonical configuration - the
+``(kind, params)`` payload serialised as minified JSON with sorted keys
+- concatenated with the :mod:`repro` version.  The key is therefore a
+pure function of *what is computed*, not of which experiment asked for
+it, where the cell sits in its grid, or which worker runs it: Table IV
+and Figure 6 share cache entries for identical ``(dataset, method,
+rate, seed)`` fits, and re-runs resume from whatever already completed.
+
+Entries are single JSON files, ``<cache_dir>/<sha256>.json``, written
+atomically (temp file + rename) so a crashed run never leaves a
+half-written entry behind.
+
+Staleness caveat (documented in DESIGN.md): the key tracks the
+*configuration* and the package version, not the source tree, so an
+algorithm change without a version bump can leave stale entries.  The
+golden-regression tests always run cache-free (serial) and from a fresh
+cache (parallel), so drift is caught there; ``--no-resume`` recomputes
+and refreshes entries in place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from typing import Any
+
+from .. import __version__
+from .spec import RunSpec
+
+__all__ = ["canonical_json", "cache_key", "ResultCache"]
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialise ``payload`` to a canonical JSON string.
+
+    Keys are sorted at every nesting level and separators minified, so
+    two payloads that differ only in dict insertion order serialise
+    identically.  Non-finite floats are rejected (``allow_nan=False``)
+    - a cell config containing NaN has no canonical form.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def cache_key(spec: RunSpec | dict[str, Any]) -> str:
+    """SHA-256 content address of one cell configuration.
+
+    Accepts a :class:`RunSpec` or its ``config()`` dict.  The digest
+    covers the canonical config plus ``repro.__version__``, so a
+    version bump invalidates every entry at once.
+    """
+    config = spec.config() if isinstance(spec, RunSpec) else spec
+    text = canonical_json(config) + "\n" + __version__
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of content-addressed cell results with hit telemetry.
+
+    Counters:
+
+    - ``hits``: loads that found a usable entry;
+    - ``misses``: loads that found nothing (or an unreadable entry);
+    - ``stores``: entries written this run.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> str:
+        """Filesystem path of the entry addressed by ``key``."""
+        return os.path.join(self.directory, f"{key}.json")
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """Return the stored entry for ``key``, counting hit or miss.
+
+        A corrupt or truncated file (e.g. from an older, non-atomic
+        writer) counts as a miss and is recomputed, never trusted.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, key: str, entry: dict[str, Any]) -> str:
+        """Atomically persist ``entry`` under ``key``; return its path."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(key)
+        payload = dict(entry)
+        payload.setdefault("key", key)
+        payload.setdefault("repro_version", __version__)
+        payload.setdefault("created_at", time.time())
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=f".{key[:12]}.", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    def stats(self) -> dict[str, Any]:
+        """Telemetry snapshot for manifests and benchmarks."""
+        total = self.hits + self.misses
+        return {
+            "directory": self.directory,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_ratio": (self.hits / total) if total else None,
+        }

@@ -1,0 +1,161 @@
+"""Grid execution: serial or process-parallel, cache-aware, manifested.
+
+:func:`run_grid` is the single entry point the experiment regenerators
+and the CLI go through.  The flow per cell:
+
+1. compute the content address (:func:`~repro.runner.cache.cache_key`);
+2. with caching enabled and ``resume`` on, serve a stored value if one
+   exists (a cache *hit* - the fit is skipped entirely);
+3. otherwise execute the cell - in-process when ``jobs == 1`` (the
+   bit-identical legacy path, no multiprocessing in the loop at all),
+   or on a ``ProcessPoolExecutor`` worker otherwise - and store the
+   fresh result.
+
+Results are always assembled in *grid order*, independent of worker
+completion order, and all randomness is baked into each cell's params
+at grid-expansion time, so ``--jobs N`` is bit-identical to serial for
+every deterministic cell.  Cache files are written by the parent
+process only - workers just compute - so no cross-process file races
+exist by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any
+
+from .cache import ResultCache, cache_key
+from .cells import run_cell
+from .manifest import build_manifest, write_manifest
+from .spec import RunGrid, RunnerConfig, RunSpec
+
+__all__ = ["execute_cell", "run_grid", "RunOutcome"]
+
+
+def execute_cell(spec: RunSpec) -> dict[str, Any]:
+    """Execute one cell and time it - the worker-safe entry point.
+
+    Top-level (picklable) on purpose: ``ProcessPoolExecutor`` ships the
+    :class:`RunSpec` to a worker and calls this by reference.  Returns
+    ``{"value", "fit", "wall_seconds"}``.
+    """
+    start = time.perf_counter()
+    out = run_cell(spec.kind, dict(spec.params))
+    out["wall_seconds"] = time.perf_counter() - start
+    return out
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Everything one grid execution produced.
+
+    ``value`` is the regenerator's historical return shape;
+    ``manifest`` the full run manifest (also written to disk when the
+    config asks for it); ``records`` the per-cell manifest entries in
+    grid order.
+    """
+
+    value: Any
+    manifest: dict[str, Any]
+    records: list[dict[str, Any]]
+
+    @property
+    def cache_stats(self) -> dict[str, Any]:
+        return self.manifest["cache"]
+
+
+def _record(
+    index: int,
+    spec: RunSpec,
+    key: str,
+    payload: dict[str, Any],
+    *,
+    cache_hit: bool,
+) -> dict[str, Any]:
+    return {
+        "index": index,
+        "kind": spec.kind,
+        "params": spec.params,
+        "key": key,
+        "volatile": spec.volatile,
+        "cache_hit": cache_hit,
+        "value": payload.get("value"),
+        "fit": payload.get("fit"),
+        "wall_seconds": float(payload.get("wall_seconds", 0.0)),
+    }
+
+
+def run_grid(grid: RunGrid, config: RunnerConfig | None = None) -> RunOutcome:
+    """Execute every cell of ``grid`` under ``config`` and assemble.
+
+    With ``config=None`` (the library default) this is the legacy
+    serial path: no cache, no workers, no manifest file - just the
+    cells in order.
+    """
+    config = config or RunnerConfig()
+    cache = ResultCache(config.cache_dir) if config.cache_dir else None
+    start = time.perf_counter()
+
+    keys = [cache_key(spec) for spec in grid.cells]
+    records: list[dict[str, Any] | None] = [None] * len(grid.cells)
+    pending: list[int] = []
+    for index, spec in enumerate(grid.cells):
+        entry = None
+        if cache is not None and config.resume and not spec.volatile:
+            entry = cache.load(keys[index])
+        if entry is not None:
+            records[index] = _record(
+                index, spec, keys[index],
+                {"value": entry.get("value"), "fit": entry.get("fit"),
+                 "wall_seconds": 0.0},
+                cache_hit=True,
+            )
+        else:
+            pending.append(index)
+
+    def _complete(index: int, payload: dict[str, Any]) -> None:
+        spec = grid.cells[index]
+        records[index] = _record(index, spec, keys[index], payload, cache_hit=False)
+        if cache is not None and not spec.volatile:
+            cache.store(
+                keys[index],
+                {
+                    "kind": spec.kind,
+                    "params": spec.params,
+                    "value": payload.get("value"),
+                    "fit": payload.get("fit"),
+                    "wall_seconds": payload.get("wall_seconds"),
+                },
+            )
+
+    if pending and config.jobs <= 1:
+        for index in pending:
+            _complete(index, execute_cell(grid.cells[index]))
+    elif pending:
+        workers = min(int(config.jobs), len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_cell, grid.cells[index]): index
+                for index in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    _complete(futures[future], future.result())
+
+    values = [record["value"] for record in records]  # type: ignore[index]
+    value = grid.assemble(values)
+    manifest = build_manifest(
+        experiment=grid.experiment,
+        jobs=config.jobs,
+        records=records,  # type: ignore[arg-type]
+        cache_stats=cache.stats() if cache is not None else None,
+        resume=config.resume,
+        total_wall_seconds=time.perf_counter() - start,
+    )
+    if config.manifest_path:
+        write_manifest(config.manifest_path, manifest)
+    return RunOutcome(value=value, manifest=manifest, records=records)  # type: ignore[arg-type]

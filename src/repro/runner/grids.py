@@ -1,0 +1,438 @@
+"""Grid builders: expand each registered experiment into runner cells.
+
+One builder per paper artifact.  A builder takes exactly the
+regenerator's keyword arguments, bakes every per-cell seed in at
+expansion time (a pure function of the experiment definition and the
+cell's position - never of the executing worker), and returns a
+:class:`~repro.runner.spec.RunGrid` whose ``assemble`` function rebuilds
+the regenerator's historical return shape from grid-ordered cell
+values.
+
+Aggregation is kept bit-identical to the pre-runner code: per-cell
+computations are the same protocol calls, and means are taken with
+``float(np.mean(values))`` over the same seed ordering the serial loops
+used.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..validation import check_positive_int
+from .spec import RunGrid, RunSpec
+
+__all__ = ["GRID_BUILDERS", "build_grid"]
+
+
+def _mean(values: list[float]) -> float:
+    """Seed-average exactly as ``average_rms`` did."""
+    return float(np.mean(values))
+
+
+def _imputation_cell(
+    dataset: str,
+    method: str,
+    seed: int,
+    *,
+    missing_rate: float,
+    fast: bool,
+    spatial_missing: bool = False,
+    rank: int | None = None,
+    overrides: dict[str, Any] | None = None,
+) -> RunSpec:
+    params: dict[str, Any] = {
+        "dataset": dataset,
+        "method": method,
+        "missing_rate": missing_rate,
+        "seed": seed,
+        "fast": fast,
+    }
+    if spatial_missing:
+        params["spatial_missing"] = True
+    if rank is not None:
+        params["rank"] = rank
+    if overrides:
+        params["overrides"] = overrides
+    return RunSpec("imputation_rms", params)
+
+
+def _table_rms_grid(
+    experiment: str,
+    *,
+    methods: tuple[str, ...],
+    datasets: tuple[str, ...],
+    missing_rate: float,
+    n_runs: int,
+    fast: bool,
+    spatial_missing: bool = False,
+) -> RunGrid:
+    """Shared builder for Tables IV and V (methods x datasets)."""
+    n_runs = check_positive_int(n_runs, name="n_runs")
+    cells = tuple(
+        _imputation_cell(
+            name, method, seed,
+            missing_rate=missing_rate, fast=fast, spatial_missing=spatial_missing,
+        )
+        for name in datasets
+        for method in methods
+        for seed in range(n_runs)
+    )
+
+    def assemble(values: list[Any]) -> dict[str, dict[str, float]]:
+        it = iter(values)
+        return {
+            name: {
+                method: _mean([next(it) for _ in range(n_runs)])
+                for method in methods
+            }
+            for name in datasets
+        }
+
+    return RunGrid(experiment, cells, assemble)
+
+
+def table_iv_grid(**kwargs: Any) -> RunGrid:
+    """Table IV: imputation RMS, methods x datasets."""
+    return _table_rms_grid("table4", **kwargs)
+
+
+def table_v_grid(**kwargs: Any) -> RunGrid:
+    """Table V: Table IV's grid with spatial columns also missing."""
+    return _table_rms_grid("table5", spatial_missing=True, **kwargs)
+
+
+TABLE_VI_METHODS: tuple[str, ...] = ("baran", "holoclean", "nmf", "smf", "smfl")
+
+
+def table_vi_grid(
+    *,
+    datasets: tuple[str, ...],
+    error_rate: float,
+    n_runs: int,
+    fast: bool,
+) -> RunGrid:
+    """Table VI: repair RMS for Baran, HoloClean and the MF family."""
+    n_runs = check_positive_int(n_runs, name="n_runs")
+    cells = tuple(
+        RunSpec(
+            "repair_rms",
+            {
+                "dataset": name,
+                "method": method,
+                "error_rate": error_rate,
+                "seed": seed,
+                "fast": fast,
+            },
+        )
+        for name in datasets
+        for method in TABLE_VI_METHODS
+        for seed in range(n_runs)
+    )
+
+    def assemble(values: list[Any]) -> dict[str, dict[str, float]]:
+        it = iter(values)
+        return {
+            name: {
+                method: _mean([next(it) for _ in range(n_runs)])
+                for method in TABLE_VI_METHODS
+            }
+            for name in datasets
+        }
+
+    return RunGrid("table6", cells, assemble)
+
+
+def table_vii_grid(
+    *,
+    datasets: tuple[str, ...],
+    missing_rates: tuple[float, ...],
+    n_runs: int,
+    fast: bool,
+) -> RunGrid:
+    """Table VII: NMF/SMF/SMFL across missing rates 10-50%."""
+    n_runs = check_positive_int(n_runs, name="n_runs")
+    methods = ("nmf", "smf", "smfl")
+    cells = tuple(
+        _imputation_cell(name, method, seed, missing_rate=rate, fast=fast)
+        for name in datasets
+        for method in methods
+        for rate in missing_rates
+        for seed in range(n_runs)
+    )
+
+    def assemble(values: list[Any]) -> dict[str, dict[str, float]]:
+        it = iter(values)
+        results: dict[str, dict[str, float]] = {}
+        for name in datasets:
+            for method in methods:
+                results[f"{name}/{method}"] = {
+                    f"{int(rate * 100)}%": _mean([next(it) for _ in range(n_runs)])
+                    for rate in missing_rates
+                }
+        return results
+
+    return RunGrid("table7", cells, assemble)
+
+
+def _series_grid(
+    experiment: str,
+    kind: str,
+    *,
+    methods: tuple[str, ...],
+    n_runs: int,
+    base_params: dict[str, Any],
+) -> RunGrid:
+    """Shared builder for the Figure 4a/4b method series."""
+    n_runs = check_positive_int(n_runs, name="n_runs")
+    cells = tuple(
+        RunSpec(kind, {"method": method, "seed": seed, **base_params})
+        for method in methods
+        for seed in range(n_runs)
+    )
+
+    def assemble(values: list[Any]) -> dict[str, float]:
+        it = iter(values)
+        return {
+            method: _mean([next(it) for _ in range(n_runs)])
+            for method in methods
+        }
+
+    return RunGrid(experiment, cells, assemble)
+
+
+def figure_4a_grid(
+    *,
+    methods: tuple[str, ...],
+    missing_rate: float,
+    n_runs: int,
+    n_routes: int,
+    route_length: int,
+    fast: bool,
+) -> RunGrid:
+    """Figure 4a: accumulated fuel-consumption error per method."""
+    return _series_grid(
+        "figure4a", "route_error", methods=methods, n_runs=n_runs,
+        base_params={
+            "missing_rate": missing_rate,
+            "n_routes": n_routes,
+            "route_length": route_length,
+            "fast": fast,
+        },
+    )
+
+
+def figure_4b_grid(
+    *,
+    methods: tuple[str, ...],
+    missing_rate: float,
+    n_runs: int,
+    fast: bool,
+) -> RunGrid:
+    """Figure 4b: clustering accuracy of the MF family on Lake."""
+    return _series_grid(
+        "figure4b", "clustering_accuracy", methods=methods, n_runs=n_runs,
+        base_params={"missing_rate": missing_rate, "fast": fast},
+    )
+
+
+FIGURE_5_LABELS: tuple[str, ...] = ("smf_gd", "smf_multi", "smfl")
+
+
+def figure_5_grid(
+    *,
+    dataset: str,
+    rank: int,
+    missing_rate: float,
+    seed: int,
+    fast: bool,
+) -> RunGrid:
+    """Figure 5: learned feature locations, one cell per model."""
+    cells = tuple(
+        RunSpec(
+            "feature_locations",
+            {
+                "label": label,
+                "dataset": dataset,
+                "rank": rank,
+                "missing_rate": missing_rate,
+                "seed": seed,
+                "fast": fast,
+            },
+        )
+        for label in FIGURE_5_LABELS
+    )
+
+    def assemble(values: list[Any]) -> dict[str, Any]:
+        first = values[0]
+        out: dict[str, Any] = {
+            "bounding_box": tuple(first["bounding_box"]),
+            "observations": np.asarray(first["observations"], dtype=np.float64),
+        }
+        for label, value in zip(FIGURE_5_LABELS, values):
+            out[f"{label}_locations"] = np.asarray(
+                value["locations"], dtype=np.float64
+            )
+            out[f"{label}_inside_fraction"] = value["inside_fraction"]
+        return out
+
+    return RunGrid("figure5", cells, assemble)
+
+
+def _sweep_grid(
+    experiment: str,
+    parameter: str,
+    values: tuple[float, ...],
+    *,
+    datasets: tuple[str, ...],
+    methods: tuple[str, ...],
+    missing_rate: float,
+    n_runs: int,
+    fast: bool,
+) -> RunGrid:
+    """Shared builder for Figures 6 (lam), 7 (p) and 8 (K)."""
+    n_runs = check_positive_int(n_runs, name="n_runs")
+    cells = tuple(
+        _imputation_cell(
+            name, method, seed,
+            missing_rate=missing_rate, fast=fast,
+            rank=int(value) if parameter == "rank" else None,
+            overrides=None if parameter == "rank" else {parameter: value},
+        )
+        for name in datasets
+        for method in methods
+        for value in values
+        for seed in range(n_runs)
+    )
+
+    def assemble(cell_values: list[Any]) -> dict[str, dict[str, float]]:
+        it = iter(cell_values)
+        results: dict[str, dict[str, float]] = {}
+        for name in datasets:
+            for method in methods:
+                results[f"{name}/{method}"] = {
+                    str(value): _mean([next(it) for _ in range(n_runs)])
+                    for value in values
+                }
+        return results
+
+    return RunGrid(experiment, cells, assemble)
+
+
+def figure_6_grid(
+    *,
+    datasets: tuple[str, ...],
+    lams: tuple[float, ...],
+    missing_rate: float,
+    n_runs: int,
+    fast: bool,
+) -> RunGrid:
+    """Figure 6: SMF/SMFL RMS while varying lambda."""
+    return _sweep_grid(
+        "figure6", "lam", lams, datasets=datasets, methods=("smf", "smfl"),
+        missing_rate=missing_rate, n_runs=n_runs, fast=fast,
+    )
+
+
+def figure_7_grid(
+    *,
+    datasets: tuple[str, ...],
+    ps: tuple[float, ...],
+    missing_rate: float,
+    n_runs: int,
+    fast: bool,
+) -> RunGrid:
+    """Figure 7: SMF/SMFL RMS while varying the neighbour count p."""
+    return _sweep_grid(
+        "figure7", "p_neighbors", tuple(int(p) for p in ps),
+        datasets=datasets, methods=("smf", "smfl"),
+        missing_rate=missing_rate, n_runs=n_runs, fast=fast,
+    )
+
+
+def figure_8_grid(
+    *,
+    datasets: tuple[str, ...],
+    ranks: tuple[int, ...],
+    missing_rate: float,
+    n_runs: int,
+    fast: bool,
+) -> RunGrid:
+    """Figure 8: SMFL RMS while varying the landmark count K."""
+    return _sweep_grid(
+        "figure8", "rank", tuple(float(r) for r in ranks),
+        datasets=datasets, methods=("smfl",),
+        missing_rate=missing_rate, n_runs=n_runs, fast=fast,
+    )
+
+
+def figure_9_grid(
+    *,
+    datasets: tuple[str, ...],
+    row_counts: tuple[int, ...],
+    methods: tuple[str, ...],
+    missing_rate: float,
+    seed: int,
+) -> RunGrid:
+    """Figure 9: wall-clock seconds per method while varying #tuples.
+
+    Timing cells are *volatile*: their value is a measurement, so they
+    bypass the cache and are exempt from manifest determinism checks.
+    """
+    cells = tuple(
+        RunSpec(
+            "timing",
+            {
+                "dataset": name,
+                "method": method,
+                "n_rows": n_rows,
+                "missing_rate": missing_rate,
+                "seed": seed,
+            },
+            volatile=True,
+        )
+        for name in datasets
+        for method in methods
+        for n_rows in row_counts
+    )
+
+    def assemble(values: list[Any]) -> dict[str, dict[str, float]]:
+        it = iter(values)
+        results: dict[str, dict[str, float]] = {}
+        for name in datasets:
+            for method in methods:
+                results[f"{name}/{method}"] = {
+                    str(n_rows): next(it) for n_rows in row_counts
+                }
+        return results
+
+    return RunGrid("figure9", cells, assemble)
+
+
+GRID_BUILDERS: dict[str, Callable[..., RunGrid]] = {
+    "table4": table_iv_grid,
+    "table5": table_v_grid,
+    "table6": table_vi_grid,
+    "table7": table_vii_grid,
+    "figure4a": figure_4a_grid,
+    "figure4b": figure_4b_grid,
+    "figure5": figure_5_grid,
+    "figure6": figure_6_grid,
+    "figure7": figure_7_grid,
+    "figure8": figure_8_grid,
+    "figure9": figure_9_grid,
+}
+"""Builder per registered experiment id."""
+
+
+def build_grid(experiment: str, **kwargs: Any) -> RunGrid:
+    """Expand one registered experiment into its runner grid."""
+    from ..exceptions import ValidationError
+
+    if experiment not in GRID_BUILDERS:
+        raise ValidationError(
+            f"no grid builder for experiment {experiment!r}; "
+            f"available: {', '.join(sorted(GRID_BUILDERS))}"
+        )
+    return GRID_BUILDERS[experiment](**kwargs)

@@ -1,0 +1,113 @@
+"""Structured run manifests: what a grid execution did, cell by cell.
+
+A manifest is a JSON document written next to an experiment's artifact.
+It records, per cell: the content-address (cache key), the params, the
+value produced, whether the cache served it, this run's wall time, and
+a summary of the engine's :class:`~repro.engine.FitReport` telemetry.
+Run-level fields cover the cache hit/miss counters, worker count, and
+total wall time.
+
+:func:`stable_manifest` strips every measurement field (wall times,
+cache traffic, worker counts, volatile timing values) and returns the
+deterministic core - the view the determinism tests compare across
+``--jobs 1`` and ``--jobs N`` runs, and across cold and warm caches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from .. import __version__
+
+__all__ = ["build_manifest", "stable_manifest", "write_manifest"]
+
+MANIFEST_SCHEMA = 1
+
+_STABLE_FIT_FIELDS = (
+    "method",
+    "n_iter",
+    "converged",
+    "final_objective",
+    "n_increases",
+    "landmark_block_intact",
+)
+
+
+def build_manifest(
+    *,
+    experiment: str,
+    jobs: int,
+    records: list[dict[str, Any]],
+    cache_stats: dict[str, Any] | None,
+    resume: bool,
+    total_wall_seconds: float,
+) -> dict[str, Any]:
+    """Assemble the manifest dict for one completed grid run.
+
+    ``records`` are per-cell dicts in grid order, each carrying
+    ``kind``/``params``/``key``/``value``/``fit``/``volatile``/
+    ``cache_hit``/``wall_seconds``.
+    """
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "experiment": experiment,
+        "repro_version": __version__,
+        "jobs": int(jobs),
+        "n_cells": len(records),
+        "cache": (
+            {"enabled": True, "resume": bool(resume), **cache_stats}
+            if cache_stats is not None
+            else {"enabled": False}
+        ),
+        "total_wall_seconds": float(total_wall_seconds),
+        "cells": records,
+    }
+
+
+def stable_manifest(manifest: dict[str, Any]) -> dict[str, Any]:
+    """The deterministic core of a manifest.
+
+    Drops everything that legitimately varies between executions of the
+    same grid: wall times, cache traffic, worker count, and the values
+    of volatile (timing) cells.  Two runs of the same ``RunSpec`` grid
+    must agree exactly on this view regardless of ``--jobs`` or cache
+    temperature - seeds are baked into the grid, never into workers.
+    """
+    cells = []
+    for record in manifest["cells"]:
+        fit = record.get("fit")
+        cells.append(
+            {
+                "index": record["index"],
+                "kind": record["kind"],
+                "params": record["params"],
+                "key": record["key"],
+                "volatile": record["volatile"],
+                "value": None if record["volatile"] else record["value"],
+                "fit": (
+                    {k: fit.get(k) for k in _STABLE_FIT_FIELDS}
+                    if isinstance(fit, dict)
+                    else None
+                ),
+            }
+        )
+    return {
+        "schema": manifest["schema"],
+        "experiment": manifest["experiment"],
+        "repro_version": manifest["repro_version"],
+        "n_cells": manifest["n_cells"],
+        "cells": cells,
+    }
+
+
+def write_manifest(path: str, manifest: dict[str, Any]) -> str:
+    """Write the manifest as indented JSON; returns the path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -16,7 +16,9 @@ import pytest
 from repro.core import MaskedNMF
 from repro.engine.timing import (
     engine_benchmark,
+    record_runner_baseline,
     record_stochastic_baseline,
+    runner_benchmark,
     stochastic_benchmark,
     telemetry_seconds,
     timed_fit_impute,
@@ -71,6 +73,36 @@ class TestStochasticBenchmark:
         recorded = record_stochastic_baseline(path=str(path), **TINY_STOCHASTIC)
         on_disk = json.loads(path.read_text())
         assert on_disk["dataset"] == "lake"
+        assert on_disk["acceptance"] == recorded["acceptance"]
+        assert "python" in on_disk and "machine" in on_disk
+
+
+class TestRunnerBenchmark:
+    TINY_RUNNER = dict(
+        methods=("mean", "knn"), datasets=("lake",), n_runs=2, jobs=2,
+    )
+
+    def test_schema_and_acceptance_flags(self):
+        out = runner_benchmark(**self.TINY_RUNNER)
+        assert out["n_cells"] == 4
+        assert out["serial"]["cache_hits"] == 0
+        assert out["cold"]["cache_misses"] == out["n_cells"]
+        assert out["warm"]["cache_hits"] == out["n_cells"]
+        assert out["warm"]["cache_hit_ratio"] == 1.0
+        # The runner's core guarantee must hold even on tiny configs.
+        assert out["acceptance"]["parallel_and_warm_bit_identical_to_serial"]
+        assert out["acceptance"]["warm_cache_hit_ratio_1"]
+        assert set(out["acceptance"]) == {
+            "parallel_and_warm_bit_identical_to_serial",
+            "warm_cache_hit_ratio_1",
+            "warm_under_10pct_of_cold",
+        }
+
+    def test_record_writes_json(self, tmp_path):
+        path = tmp_path / "BENCH_runner.json"
+        recorded = record_runner_baseline(path=str(path), **self.TINY_RUNNER)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["experiment"] == "table4"
         assert on_disk["acceptance"] == recorded["acceptance"]
         assert "python" in on_disk and "machine" in on_disk
 

@@ -1,0 +1,72 @@
+"""Paper-style aliases for ``run_experiment`` and its error reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    normalize_experiment_name,
+    run_experiment,
+)
+
+ALIASES = [
+    ("table4", "table4"),
+    ("TABLE4", "table4"),
+    ("Table IV", "table4"),
+    ("table iv", "table4"),
+    ("Table_IV", "table4"),
+    ("tbl-iv", "table4"),
+    ("Table V", "table5"),
+    ("Table VI", "table6"),
+    ("Table VII", "table7"),
+    ("table 7", "table7"),
+    ("figure 9", "figure9"),
+    ("Figure 9", "figure9"),
+    ("Fig. 9", "figure9"),
+    ("fig9", "figure9"),
+    ("Fig. 4a", "figure4a"),
+    ("FIGURE 4B", "figure4b"),
+    ("figure_6", "figure6"),
+]
+
+
+class TestNormalization:
+    @pytest.mark.parametrize("raw, canonical", ALIASES)
+    def test_alias_map(self, raw, canonical):
+        assert normalize_experiment_name(raw) == canonical
+        assert canonical in EXPERIMENTS
+
+    @pytest.mark.parametrize("canonical", sorted(EXPERIMENTS))
+    def test_canonical_ids_are_fixed_points(self, canonical):
+        assert normalize_experiment_name(canonical) == canonical
+
+    def test_unrelated_names_come_back_cleaned(self):
+        assert normalize_experiment_name("  My Experiment ") == "myexperiment"
+
+
+class TestDispatch:
+    def test_paper_alias_runs(self):
+        out = run_experiment(
+            "Table IV", methods=("mean",), datasets=("lake",), n_runs=1, fast=True
+        )
+        assert out["lake"]["mean"] > 0
+
+    def test_figure_alias_runs(self):
+        out = run_experiment(
+            "Fig. 8", datasets=("lake",), ranks=(2,), n_runs=1, fast=True
+        )
+        assert set(out) == {"lake/smfl"}
+
+    def test_error_reports_normalized_name(self):
+        with pytest.raises(ValidationError) as excinfo:
+            run_experiment("Table IX")
+        message = str(excinfo.value)
+        assert "'Table IX'" in message
+        assert "normalized: 'tableix'" in message
+        assert "table4" in message  # the available list
+
+    def test_error_on_near_miss(self):
+        with pytest.raises(ValidationError, match="normalized: 'figure10'"):
+            run_experiment("Figure 10")

@@ -1,0 +1,183 @@
+"""Golden-regression harness: committed outputs for the paper artifacts.
+
+Each case regenerates one experiment at a small, fast configuration and
+compares every value against the committed fixture under
+``tests/experiments/golden/`` to 1e-9 - on the serial path and again
+through the parallel runner (``jobs=2`` with a fresh cache).  Any
+numeric drift anywhere in the pipeline (data generation, injection,
+solvers, aggregation, runner plumbing) fails loudly with the offending
+path and a refresh hint.
+
+Figure 9 is wall-clock timing, so its fixture pins the *structure*
+(row/column labels) and the values are only checked for positive
+finiteness - timings are measurements, not reproducible numbers.
+
+Refreshing after an intentional numeric change::
+
+    REPRO_REFRESH_GOLDEN=1 PYTHONPATH=src python -m pytest tests/experiments/test_golden.py
+
+then commit the rewritten fixtures together with the change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import run_experiment
+from repro.runner import RunnerConfig
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REFRESH_ENV = "REPRO_REFRESH_GOLDEN"
+TOLERANCE = 1e-9
+
+CASES: dict[str, dict] = {
+    "table4": {
+        "kwargs": {
+            "methods": ["knn", "mc", "softimpute", "nmf", "smf", "smfl"],
+            "datasets": ["lake", "vehicle"],
+            "missing_rate": 0.1,
+            "n_runs": 2,
+            "fast": True,
+        },
+        "mode": "values",
+    },
+    "table6": {
+        "kwargs": {"datasets": ["lake"], "error_rate": 0.1, "n_runs": 2, "fast": True},
+        "mode": "values",
+    },
+    "figure6": {
+        "kwargs": {
+            "datasets": ["lake"], "lams": [0.01, 1.0], "n_runs": 2, "fast": True,
+        },
+        "mode": "values",
+    },
+    "figure8": {
+        "kwargs": {
+            "datasets": ["lake"], "ranks": [2, 4], "n_runs": 2, "fast": True,
+        },
+        "mode": "values",
+    },
+    "figure9": {
+        "kwargs": {
+            "datasets": ["lake"], "row_counts": [120],
+            "methods": ["softimpute", "smfl"], "fast": True,
+        },
+        "mode": "structure",  # wall-clock values cannot be pinned
+    },
+}
+
+_REFRESH_HINT = (
+    "If this numeric change is intentional, refresh the fixtures with\n"
+    f"  {REFRESH_ENV}=1 PYTHONPATH=src python -m pytest "
+    "tests/experiments/test_golden.py\n"
+    "and commit them together with the change."
+)
+
+
+def _fixture_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def _regenerate(name: str, runner: RunnerConfig | None = None) -> dict:
+    kwargs = {k: _as_call_arg(v) for k, v in CASES[name]["kwargs"].items()}
+    return run_experiment(name, **kwargs, runner=runner)
+
+
+def _as_call_arg(value):
+    return tuple(value) if isinstance(value, list) else value
+
+
+def _drifts(fixture, regenerated, path=""):
+    """Recursively collect every value drift beyond TOLERANCE."""
+    problems: list[str] = []
+    if isinstance(fixture, dict):
+        if not isinstance(regenerated, dict) or set(fixture) != set(regenerated):
+            problems.append(
+                f"{path or '<root>'}: keys {sorted(fixture)} != "
+                f"{sorted(regenerated) if isinstance(regenerated, dict) else regenerated}"
+            )
+            return problems
+        for key in fixture:
+            problems.extend(_drifts(fixture[key], regenerated[key], f"{path}[{key}]"))
+        return problems
+    if isinstance(fixture, float) and isinstance(regenerated, (int, float)):
+        if not np.isclose(fixture, regenerated, rtol=0.0, atol=TOLERANCE):
+            problems.append(
+                f"{path}: fixture {fixture!r} vs regenerated {regenerated!r} "
+                f"(|diff|={abs(fixture - regenerated):.3e} > {TOLERANCE})"
+            )
+        return problems
+    if fixture != regenerated:
+        problems.append(f"{path}: fixture {fixture!r} != regenerated {regenerated!r}")
+    return problems
+
+
+def _structure(result: dict) -> dict:
+    return {row: sorted(cols) for row, cols in result.items()}
+
+
+def _check(name: str, result: dict) -> None:
+    path = _fixture_path(name)
+    mode = CASES[name]["mode"]
+    if os.environ.get(REFRESH_ENV):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        payload = {
+            "experiment": name,
+            "kwargs": CASES[name]["kwargs"],
+            "mode": mode,
+            "values": _structure(result) if mode == "structure" else result,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return
+    if not path.exists():
+        pytest.fail(
+            f"golden fixture missing: {path}\n"
+            f"Generate it with {REFRESH_ENV}=1 (see module docstring)."
+        )
+    fixture = json.loads(path.read_text())
+    assert fixture["kwargs"] == CASES[name]["kwargs"], (
+        f"golden config for {name!r} changed; the fixture was recorded with "
+        f"{fixture['kwargs']}.\n{_REFRESH_HINT}"
+    )
+    if mode == "structure":
+        problems = _drifts(fixture["values"], _structure(result))
+        for row, cols in result.items():
+            for col, value in cols.items():
+                if not (np.isfinite(value) and value > 0):
+                    problems.append(f"[{row}][{col}]: non-positive timing {value!r}")
+    else:
+        problems = _drifts(fixture["values"], result)
+    if problems:
+        details = "\n  ".join(problems)
+        pytest.fail(
+            f"golden regression for {name!r} - {len(problems)} value(s) drifted "
+            f"beyond {TOLERANCE}:\n  {details}\n{_REFRESH_HINT}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(CASES), ids=str)
+def test_golden_serial(name):
+    """The legacy path: serial, cache-free, straight through run_grid."""
+    _check(name, _regenerate(name))
+
+
+@pytest.mark.parametrize("name", sorted(CASES), ids=str)
+def test_golden_parallel_jobs2(name, tmp_path):
+    """The fan-out path: two workers, fresh content-addressed cache."""
+    if os.environ.get(REFRESH_ENV):
+        pytest.skip("fixtures are refreshed by the serial pass")
+    runner = RunnerConfig(jobs=2, cache_dir=str(tmp_path / "cache"))
+    _check(name, _regenerate(name, runner=runner))
+
+
+def test_fixture_files_match_case_table():
+    """Every committed fixture corresponds to a case, and vice versa."""
+    if os.environ.get(REFRESH_ENV):
+        pytest.skip("refresh mode")
+    on_disk = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert on_disk == set(CASES)

@@ -1,0 +1,156 @@
+"""Property-based contracts for the content-addressed cache key.
+
+The key must be a *stable* content address: identical cell configs
+produce identical keys in any process (regardless of string-hash
+randomisation or dict insertion order), and any semantic difference -
+a changed field, a missing field, a different kind, a different package
+version - produces a different key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import string
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import RunSpec, cache_key, canonical_json
+
+KEY_ALPHABET = string.ascii_lowercase + "_"
+keys = st.text(KEY_ALPHABET, min_size=1, max_size=8)
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=12),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(keys, children, max_size=4),
+    ),
+    max_leaves=10,
+)
+configs = st.dictionaries(keys, values, min_size=1, max_size=6)
+
+
+def _shuffled(obj, rand):
+    """Rebuild ``obj`` with every dict's insertion order permuted."""
+    if isinstance(obj, dict):
+        items = [(k, _shuffled(v, rand)) for k, v in obj.items()]
+        rand.shuffle(items)
+        return dict(items)
+    if isinstance(obj, list):
+        return [_shuffled(v, rand) for v in obj]
+    return obj
+
+
+class TestDictOrderIrrelevant:
+    @given(params=configs, rand=st.randoms(use_true_random=False))
+    @settings(max_examples=200)
+    def test_insertion_order_never_changes_the_key(self, params, rand):
+        shuffled = _shuffled(params, rand)
+        assert shuffled == params
+        assert canonical_json(params) == canonical_json(shuffled)
+        assert cache_key(RunSpec("k", params)) == cache_key(RunSpec("k", shuffled))
+
+
+class TestAnyFieldDifferenceChangesTheKey:
+    @given(params=configs, field=keys, new_value=values)
+    @settings(max_examples=200)
+    def test_changed_or_added_field(self, params, field, new_value):
+        changed = {**params, field: new_value}
+        differs = canonical_json(changed) != canonical_json(params)
+        keys_differ = cache_key(RunSpec("k", changed)) != cache_key(RunSpec("k", params))
+        assert keys_differ == differs
+
+    @given(params=configs)
+    @settings(max_examples=100)
+    def test_removed_field(self, params):
+        field = next(iter(params))
+        smaller = {k: v for k, v in params.items() if k != field}
+        assert cache_key(RunSpec("k", smaller)) != cache_key(RunSpec("k", params))
+
+    @given(params=configs)
+    @settings(max_examples=50)
+    def test_kind_is_part_of_the_address(self, params):
+        assert cache_key(RunSpec("a", params)) != cache_key(RunSpec("b", params))
+
+    @pytest.mark.parametrize(
+        "a, b",
+        [
+            ({"seed": 0}, {"seed": 1}),
+            ({"method": "nmf"}, {"method": "smf"}),
+            ({"missing_rate": 0.1}, {"missing_rate": 0.2}),
+            ({"overrides": {"lam": 0.01}}, {"overrides": {"lam": 0.1}}),
+            ({"fast": True}, {"fast": False}),
+            ({"seed": 1}, {"seed": 1.0}),  # int vs float is a different config
+        ],
+    )
+    def test_near_miss_cell_configs(self, a, b):
+        assert cache_key(RunSpec("imputation_rms", a)) != cache_key(
+            RunSpec("imputation_rms", b)
+        )
+
+
+class TestProcessStability:
+    def test_key_survives_hash_randomisation(self):
+        # Same spec, fresh interpreters, adversarial PYTHONHASHSEEDs:
+        # the content address must never depend on process state.
+        spec = RunSpec(
+            "imputation_rms",
+            {
+                "dataset": "lake", "method": "smfl", "missing_rate": 0.1,
+                "seed": 3, "fast": True, "overrides": {"lam": 0.05, "p_neighbors": 2},
+            },
+        )
+        local = cache_key(spec)
+        script = (
+            "from repro.runner import RunSpec, cache_key;"
+            f"print(cache_key(RunSpec({spec.kind!r}, {spec.params!r})))"
+        )
+        import repro
+
+        package_root = os.path.dirname(os.path.dirname(repro.__file__))
+        for hashseed in ("0", "424242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hashseed
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (package_root, env.get("PYTHONPATH")) if p
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True, env=env,
+            )
+            assert out.stdout.strip() == local
+
+    def test_version_is_part_of_the_address(self, monkeypatch):
+        spec = RunSpec("k", {"seed": 0})
+        before = cache_key(spec)
+        monkeypatch.setattr("repro.runner.cache.__version__", "0.0.0-test")
+        assert cache_key(spec) != before
+
+
+class TestCanonicalJson:
+    def test_minified_sorted_form(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_tuples_and_lists_address_identically(self):
+        assert cache_key(RunSpec("k", {"xs": (1, 2)})) == cache_key(
+            RunSpec("k", {"xs": [1, 2]})
+        )
+
+    def test_nan_has_no_canonical_form(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_float_round_trip_exact(self):
+        value = 0.1 + 0.2
+        assert json.loads(canonical_json({"x": value}))["x"] == value
