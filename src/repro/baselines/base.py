@@ -14,6 +14,7 @@ import numpy as np
 
 from ..exceptions import ValidationError
 from ..masking.mask import ObservationMask, mask_from_missing_values
+from ..obs.trace import traced
 from ..validation import as_matrix
 
 __all__ = ["Imputer", "column_mean_fill"]
@@ -54,6 +55,7 @@ class Imputer:
     #: for iterative methods; stays ``None`` for one-shot imputers.
     fit_report_ = None
 
+    @traced("fit_impute")
     def fit_impute(self, x: np.ndarray, mask: object = None) -> np.ndarray:
         """Impute ``x``; NaN cells are unobserved when ``mask`` is omitted."""
         x, observation = self._coerce(x, mask)

@@ -36,6 +36,7 @@ from ..engine.stochastic import (
 )
 from ..exceptions import NotFittedError, ValidationError
 from ..masking.mask import ObservationMask, mask_from_missing_values
+from ..obs.trace import get_tracer, traced
 from ..validation import (
     as_matrix,
     check_in_range,
@@ -282,9 +283,10 @@ class MatrixFactorizationBase:
         v: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray]:
         """One update iteration: apply the named kernel."""
-        return get_kernel(self.update_rule).step(
-            x_observed, observed, u, v, self._cached_kernel_context(v.shape)
-        )
+        with get_tracer().span(f"kernel:{self.update_rule}", method=self.method):
+            return get_kernel(self.update_rule).step(
+                x_observed, observed, u, v, self._cached_kernel_context(v.shape)
+            )
 
     def _objective(
         self,
@@ -409,6 +411,7 @@ class MatrixFactorizationBase:
             )
         return self._fit_mask.merge(self._fit_x, reconstruction)
 
+    @traced("fit_impute")
     def fit_impute(self, x: np.ndarray, mask: object = None) -> np.ndarray:
         """Fit on ``(x, mask)`` and return the imputed matrix."""
         self.fit(x, mask)

@@ -126,7 +126,13 @@ class Telemetry(Callback):
                 )
                 self.deltas.setdefault(key, []).append(delta)
                 self._prev_factors[key] = value.copy()
-        if self.frozen_mask is not None and "v" in factors:
+        # Once the block has been caught modified the verdict is final -
+        # re-comparing the mask every remaining iteration buys nothing.
+        if (
+            self.frozen_mask is not None
+            and self.landmark_block_intact
+            and "v" in factors
+        ):
             block = factors["v"][self.frozen_mask]
             if not np.array_equal(block, self.frozen_values):
                 self.landmark_block_intact = False

@@ -6,16 +6,25 @@ cadence, early stopping (relative-decrease by default, solver-specific
 rules via :meth:`Solver.converged`), budget warnings, and callback
 dispatch.  Solvers shrink to a :meth:`step`/:meth:`objective` pair;
 telemetry and convergence policy become first-class and uniform.
+
+The loop is traced: the engine opens a ``fit`` span around the whole
+iteration, an ``iteration`` span per solver step, and an ``evaluate``
+span per objective evaluation (see :mod:`repro.obs`).  The iteration
+span's duration *is* the ``seconds`` field of the
+:class:`~repro.engine.callbacks.IterationRecord` handed to callbacks -
+one clock feeds both the trace and :class:`Telemetry`, and with tracing
+disabled the null span costs the same two ``perf_counter`` calls the
+old stopwatch did.
 """
 
 from __future__ import annotations
 
-import time
 import warnings
 from dataclasses import dataclass
 from typing import Any, Iterable
 
 from ..exceptions import ConvergenceWarning
+from ..obs.trace import get_tracer
 from ..validation import check_in_range, check_positive_int
 from .callbacks import Callback, IterationRecord
 from .monitor import DEFAULT_MAX_ITER, ConvergenceMonitor
@@ -81,27 +90,40 @@ class IterativeEngine:
         fixed-epoch training).
         """
         monitor = ConvergenceMonitor(max_iter=self.max_iter, tol=self.tol)
+        tracer = get_tracer()
         for callback in self.callbacks:
             callback.on_fit_start(solver, state)
 
         steps = 0
         converged = False
-        while steps < self.max_iter and not converged:
-            t_step = time.perf_counter()
-            state = solver.step(state)
-            seconds = time.perf_counter() - t_step
-            steps += 1
-            objective: float | None = None
-            if steps % self.eval_every == 0 or steps == self.max_iter:
-                objective = float(solver.objective(state))
-                monitor.record(objective)
-                custom = solver.converged(state, monitor)
-                converged = monitor.converged if custom is None else bool(custom)
-            record = IterationRecord(
-                iteration=steps, objective=objective, seconds=seconds, state=state
-            )
-            for callback in self.callbacks:
-                callback.on_iteration(solver, record)
+        with tracer.span(
+            "fit", solver=getattr(solver, "name", "solver"), max_iter=self.max_iter
+        ):
+            while steps < self.max_iter and not converged:
+                # One clock: the iteration span both appears in the trace
+                # and supplies the seconds Telemetry records - the engine
+                # never times a step twice.
+                with tracer.span("iteration", index=steps + 1) as step_span:
+                    state = solver.step(state)
+                steps += 1
+                objective: float | None = None
+                if steps % self.eval_every == 0 or steps == self.max_iter:
+                    with tracer.span("evaluate", index=steps) as eval_span:
+                        objective = float(solver.objective(state))
+                        eval_span.set_attr("objective", objective)
+                        monitor.record(objective)
+                        custom = solver.converged(state, monitor)
+                        converged = (
+                            monitor.converged if custom is None else bool(custom)
+                        )
+                record = IterationRecord(
+                    iteration=steps,
+                    objective=objective,
+                    seconds=step_span.duration,
+                    state=state,
+                )
+                for callback in self.callbacks:
+                    callback.on_iteration(solver, record)
 
         # Solvers with a custom rule override the monitor's verdict so
         # downstream consumers (reports, warnings) see one truth.

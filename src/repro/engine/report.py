@@ -17,6 +17,7 @@ original fields (``u``, ``v``, ``objective_history``, ``n_iter``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -126,6 +127,70 @@ class FitReport:
         if history.size < 2:
             return True
         return bool((np.diff(history) <= rtol * (1.0 + np.abs(history[:-1]))).all())
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """The report as a ``json.dumps``-ready dict - no ndarrays.
+
+        Telemetry travels: into run manifests, trace events, and cache
+        entries.  Factor matrices do not - they are summarised by shape
+        (``u_shape``/``v_shape``, ``None`` when absent) rather than
+        serialised, so the dict stays kilobytes no matter the dataset.
+        Histories become plain ``float``/``int`` lists (JSON has no
+        tuples; :meth:`from_json_dict` restores them).
+        """
+        return {
+            "method": self.method,
+            "n_iter": int(self.n_iter),
+            "converged": bool(self.converged),
+            "objective_history": [float(x) for x in self.objective_history],
+            "wall_times": [float(x) for x in self.wall_times],
+            "factor_deltas": {
+                name: [float(x) for x in deltas]
+                for name, deltas in self.factor_deltas.items()
+            },
+            "n_increases": int(self.n_increases),
+            "landmark_block_intact": self.landmark_block_intact,
+            "sampled_objectives": [float(x) for x in self.sampled_objectives],
+            "rows_touched": [int(x) for x in self.rows_touched],
+            "setup_seconds": float(self.setup_seconds),
+            "loop_seconds": float(self.loop_seconds),
+            "u_shape": list(self.u.shape) if self.u is not None else None,
+            "v_shape": list(self.v.shape) if self.v is not None else None,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict[str, Any]) -> "FitReport":
+        """Rebuild a report from :meth:`to_json_dict` output.
+
+        The factors themselves were never serialised, so ``u``/``v``
+        come back ``None`` - everything telemetry-derived (histories as
+        tuples, the invariant verdicts, the ``None``-vs-``False``
+        distinction of ``landmark_block_intact``) round-trips exactly.
+        """
+        intact = data.get("landmark_block_intact")
+        return cls(
+            u=None,
+            v=None,
+            objective_history=tuple(
+                float(x) for x in data.get("objective_history", ())
+            ),
+            n_iter=int(data.get("n_iter", 0)),
+            converged=bool(data.get("converged", False)),
+            wall_times=tuple(float(x) for x in data.get("wall_times", ())),
+            factor_deltas={
+                name: tuple(float(x) for x in deltas)
+                for name, deltas in (data.get("factor_deltas") or {}).items()
+            },
+            n_increases=int(data.get("n_increases", 0)),
+            landmark_block_intact=None if intact is None else bool(intact),
+            sampled_objectives=tuple(
+                float(x) for x in data.get("sampled_objectives", ())
+            ),
+            rows_touched=tuple(int(x) for x in data.get("rows_touched", ())),
+            method=str(data.get("method", "")),
+            setup_seconds=float(data.get("setup_seconds", 0.0)),
+            loop_seconds=float(data.get("loop_seconds", 0.0)),
+        )
 
 
 # Migration alias: the seed repo's result type. See module docstring.

@@ -12,9 +12,12 @@ Every run goes through :mod:`repro.runner`: cells fan out across
 content-addressed cache under ``--cache-dir`` (skip with
 ``--no-cache``; recompute-and-refresh with ``--no-resume``), and a
 structured run manifest is written next to the results (suppress with
-``--no-manifest``).  The table/figure itself goes to stdout - bit
--identical whatever the job count or cache temperature - while the
-run telemetry line goes to stderr.
+``--no-manifest``).  ``--trace PATH`` records a :mod:`repro.obs` span
+trace of the whole run - engine iterations, kernels, cells, worker
+fan-out - as one merged JSONL, analysable with ``python -m repro.obs
+report PATH``.  The table/figure itself goes to stdout - bit-identical
+whatever the job count, cache temperature, or tracing state - while
+the run telemetry lines go to stderr.
 """
 
 from __future__ import annotations
@@ -99,6 +102,11 @@ def main(argv: list[str] | None = None) -> int:
         "--no-manifest", action="store_true",
         help="skip writing the run manifest",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a span trace (JSONL) of the whole run; analyse it "
+        "with 'python -m repro.obs report PATH'",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -115,6 +123,7 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         resume=not args.no_resume,
         manifest_path=manifest_path,
+        trace_path=args.trace,
     )
 
     kwargs: dict[str, object] = {"fast": args.fast, "runner": config}
@@ -122,6 +131,12 @@ def main(argv: list[str] | None = None) -> int:
         kwargs["n_runs"] = args.runs
     result = run_experiment(args.experiment, **kwargs)
     _print_result(name, result)
+    if args.trace:
+        print(  # noqa: T201
+            f"[trace] {args.trace} "
+            f"(analyse: python -m repro.obs report {args.trace})",
+            file=sys.stderr,
+        )
     if manifest_path is not None:
         try:
             with open(manifest_path, encoding="utf-8") as handle:

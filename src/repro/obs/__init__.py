@@ -1,0 +1,102 @@
+"""repro.obs: the unified tracing + metrics layer.
+
+One observability subsystem instead of three ad-hoc mechanisms
+(engine wall-time lists, runner cache counters, ``timing`` stopwatches):
+
+- :mod:`repro.obs.trace` - :class:`Tracer` with nested, attributed
+  spans over one monotonic clock; a no-op-cheap :class:`NullTracer` is
+  ambient by default, so instrumented hot paths cost two
+  ``perf_counter`` calls per span when tracing is off;
+- :mod:`repro.obs.metrics` - counters / gauges / histograms in a
+  :class:`MetricsRegistry`, plus the opt-in :func:`profiled` memory
+  hook (``tracemalloc`` / peak RSS);
+- :mod:`repro.obs.sink` - the JSONL event sink (atomic writes), the
+  in-memory sink workers ship spans through, and the summary / Chrome
+  ``trace_event`` exporters;
+- :mod:`repro.obs.analyze` + ``python -m repro.obs report`` - span
+  tree reconstruction, self-time accounting, coverage, and the text
+  flamegraph CLI.
+
+Producers: :class:`repro.engine.IterativeEngine` (``fit`` /
+``iteration`` / ``evaluate`` spans, feeding ``Telemetry`` from the same
+clock), the factorization kernels (``kernel:<rule>``), every
+:class:`repro.baselines.base.Imputer` (``fit_impute`` spans), and
+:func:`repro.runner.execute.run_grid` (``run:<experiment>`` / ``cell``
+spans merged across worker processes).  Enable with ``--trace <path>``
+on the ``repro.experiments`` and ``repro.engine.timing`` CLIs, or
+programmatically via :func:`trace_to` / :func:`use_tracer`.
+"""
+
+from .analyze import (
+    SpanNode,
+    aggregate_spans,
+    build_tree,
+    coverage,
+    render_top,
+    render_tree,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    profiled,
+    reset_metrics,
+)
+from .sink import (
+    JsonlSink,
+    MemorySink,
+    Sink,
+    read_events,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_summary,
+)
+from .trace import (
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+    collecting_tracer,
+    get_tracer,
+    set_tracer,
+    trace_to,
+    traced,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "Sink",
+    "Span",
+    "SpanNode",
+    "Tracer",
+    "aggregate_spans",
+    "build_tree",
+    "collecting_tracer",
+    "coverage",
+    "get_metrics",
+    "get_tracer",
+    "profiled",
+    "read_events",
+    "render_top",
+    "render_tree",
+    "reset_metrics",
+    "set_tracer",
+    "to_chrome_trace",
+    "trace_to",
+    "traced",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_summary",
+]

@@ -1,0 +1,107 @@
+"""Trace-analysis CLI: ``python -m repro.obs <command> <trace.jsonl>``.
+
+Commands::
+
+    report  trace.jsonl [--top K] [--depth D]   self-time tree + top-k table
+    summary trace.jsonl [-o summary.json]       per-name aggregate JSON
+    chrome  trace.jsonl [-o trace_chrome.json]  Chrome trace_event export
+
+``report`` is the human entry point: it prints the name-merged span
+tree (a text flamegraph - total time, share of the trace, self time),
+the top-k spans by self time, trace coverage (how much of the wall
+extent the root spans explain; the acceptance bar is 95%), and any
+metrics snapshots embedded in the trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .analyze import aggregate_spans, build_tree, coverage, render_top, render_tree
+from .sink import read_events, write_chrome_trace, write_summary
+
+
+def _report(args: argparse.Namespace) -> int:
+    events = read_events(args.trace)
+    spans = [e for e in events if e.get("type") == "span"]
+    if not spans:
+        print(f"{args.trace}: no span events")  # noqa: T201
+        return 1
+    tree = build_tree(events)
+    cover = coverage(events)
+    print(f"# trace report: {args.trace}")  # noqa: T201
+    print(  # noqa: T201
+        f"{len(spans)} spans, extent {cover['extent_seconds']:.3f}s, "
+        f"root coverage {cover['fraction']:.1%}"
+    )
+    print()  # noqa: T201
+    print(render_tree(tree, max_depth=args.depth))  # noqa: T201
+    print()  # noqa: T201
+    print(render_top(aggregate_spans(events), top=args.top))  # noqa: T201
+    metrics = [e for e in events if e.get("type") == "metrics"]
+    if metrics:
+        print()  # noqa: T201
+        print("## metrics")  # noqa: T201
+        for event in metrics:
+            for name, entry in sorted(event.get("values", {}).items()):
+                print(f"{name}: {entry.get('value', entry)}")  # noqa: T201
+    return 0
+
+
+def _summary(args: argparse.Namespace) -> int:
+    out = args.output or f"{args.trace}.summary.json"
+    write_summary(read_events(args.trace), out)
+    print(out)  # noqa: T201
+    return 0
+
+
+def _chrome(args: argparse.Namespace) -> int:
+    out = args.output or f"{args.trace}.chrome.json"
+    path = write_chrome_trace(read_events(args.trace), out)
+    with open(path, encoding="utf-8") as handle:
+        n = len(json.load(handle)["traceEvents"])
+    print(f"{path} ({n} events; open in chrome://tracing)")  # noqa: T201
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Analyse repro trace JSONL files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="self-time tree + top-k span table")
+    report.add_argument("trace", help="trace JSONL file")
+    report.add_argument("--top", type=int, default=10, metavar="K",
+                        help="rows of the self-time table (default: 10)")
+    report.add_argument("--depth", type=int, default=6, metavar="D",
+                        help="maximum tree depth rendered (default: 6)")
+    report.set_defaults(func=_report)
+
+    summary = sub.add_parser("summary", help="per-name aggregate JSON")
+    summary.add_argument("trace")
+    summary.add_argument("-o", "--output", default=None)
+    summary.set_defaults(func=_summary)
+
+    chrome = sub.add_parser("chrome", help="Chrome trace_event export")
+    chrome.add_argument("trace")
+    chrome.add_argument("-o", "--output", default=None)
+    chrome.set_defaults(func=_chrome)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Reports get piped through `head` all the time; a closed pipe
+        # is the reader saying "enough", not an error.  Redirect stdout
+        # to devnull so interpreter shutdown doesn't re-raise on flush.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -1,0 +1,207 @@
+"""Counters, gauges, and histograms: the numeric side of observability.
+
+Spans answer "where did the time go"; metrics answer "how much work
+happened" - cache hits, rows touched, objective decrease per second,
+peak memory.  A :class:`MetricsRegistry` is a flat name -> instrument
+map with a JSON-ready :meth:`~MetricsRegistry.snapshot`; the module
+-level registry (:func:`get_metrics`) is the ambient home for
+instrumented library code, while subsystems that need per-run numbers
+(the experiment runner's manifest) build their own registry.
+
+Profiling hooks are opt-in via :func:`profiled`: wrapping a block
+records peak traced allocations (``tracemalloc``) and/or the process's
+peak RSS (``resource.getrusage``) as gauges.  Neither is touched unless
+asked - ``tracemalloc`` in particular slows allocation-heavy numeric
+code, which is exactly why it is a flag and not a default.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "reset_metrics",
+    "profiled",
+]
+
+
+class Counter:
+    """A monotonically increasing count (cache hits, cells run)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (peak RSS, current learning rate)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution summary (per-iteration seconds, deltas).
+
+    Tracks count/sum/min/max plus the streaming mean and variance
+    (Welford), so the snapshot carries moments without storing samples.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    def snapshot(self) -> dict[str, Any]:
+        if not self.count:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self._mean,
+            "stddev": math.sqrt(self._m2 / self.count),
+        }
+
+
+class MetricsRegistry:
+    """Name -> instrument map with get-or-create accessors.
+
+    Thread-safe for creation; instrument mutation itself is plain
+    attribute arithmetic (safe under the GIL for the int/float updates
+    done here).  Asking for an existing name with a different
+    instrument kind raises - one name, one meaning.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls: type) -> Any:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = cls()
+            elif not isinstance(instrument, cls):
+                raise ValueError(
+                    f"metric {name!r} is a {type(instrument).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-ready state of every instrument, name-sorted."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return {name: instrument.snapshot() for name, instrument in items}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+
+_global = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The ambient process-wide registry."""
+    return _global
+
+
+def reset_metrics() -> None:
+    """Clear the ambient registry (tests, run boundaries)."""
+    _global.reset()
+
+
+@contextmanager
+def profiled(
+    registry: MetricsRegistry | None = None,
+    *,
+    prefix: str = "profile",
+    trace_allocations: bool = False,
+) -> Iterator[MetricsRegistry]:
+    """Opt-in memory profiling around a block.
+
+    Always records the process peak RSS (``resource`` module, kB on
+    Linux) as ``<prefix>.peak_rss_kb``; with ``trace_allocations`` also
+    runs ``tracemalloc`` and records ``<prefix>.peak_traced_bytes``
+    (allocation peak *within the block* - the expensive, precise
+    number).  Both degrade gracefully where the modules are missing.
+    """
+    registry = registry or get_metrics()
+    tracing = False
+    if trace_allocations:
+        try:
+            import tracemalloc
+
+            tracemalloc.start()
+            tracing = True
+        except ImportError:  # pragma: no cover - tracemalloc is stdlib
+            pass
+    try:
+        yield registry
+    finally:
+        if tracing:
+            import tracemalloc
+
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            registry.gauge(f"{prefix}.peak_traced_bytes").set(peak)
+        try:
+            import resource
+
+            peak_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            registry.gauge(f"{prefix}.peak_rss_kb").set(peak_rss)
+        except ImportError:  # pragma: no cover - non-POSIX platforms
+            pass

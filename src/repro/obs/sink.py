@@ -1,0 +1,168 @@
+"""Event sinks and exporters for the tracing layer.
+
+A sink accepts JSON-ready event dicts.  :class:`JsonlSink` is the
+on-disk form - one event per line, buffered in memory and written
+atomically (temp file in the target directory + ``os.replace``) so a
+crashed run never leaves a truncated trace; :class:`MemorySink` is the
+in-process form runner workers use to ship their spans back to the
+parent.
+
+Exporters turn a finished event stream into other machine-readable
+shapes:
+
+- :func:`write_summary` - aggregate per-span-name totals as JSON;
+- :func:`to_chrome_trace` / :func:`write_chrome_trace` - the Chrome
+  ``trace_event`` format (open in ``chrome://tracing`` or Perfetto:
+  complete "X" events with microsecond timestamps, one row per
+  pid/thread).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Iterable
+
+__all__ = [
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "read_events",
+    "write_summary",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+class Sink:
+    """Interface: anything with ``emit(event)`` (and optional ``close``)."""
+
+    def emit(self, event: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; emitting afterwards is an error."""
+
+
+class MemorySink(Sink):
+    """Buffer events in a list (worker processes, tests)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self.events.append(event)
+
+
+class JsonlSink(Sink):
+    """Buffered JSONL file sink with an atomic final write.
+
+    Events accumulate in memory and hit disk on :meth:`close` (or
+    :meth:`flush`): the full stream is serialised to a temp file in the
+    destination directory and renamed over ``path``.  Readers therefore
+    only ever see complete traces.  ``flush`` may be called repeatedly
+    - each call atomically replaces the file with the events so far -
+    so long runs can checkpoint.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self.events: list[dict[str, Any]] = []
+        self._closed = False
+
+    def emit(self, event: dict[str, Any]) -> None:
+        if self._closed:
+            raise ValueError(f"sink for {self.path!r} is closed")
+        self.events.append(event)
+
+    def flush(self) -> str:
+        """Atomically write everything emitted so far; returns the path."""
+        parent = os.path.dirname(self.path) or "."
+        os.makedirs(parent, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".trace.", suffix=".tmp", dir=parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for event in self.events:
+                    handle.write(json.dumps(event, sort_keys=True))
+                    handle.write("\n")
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return self.path
+
+    def close(self) -> None:
+        if not self._closed:
+            self.flush()
+            self._closed = True
+
+
+def read_events(path: str) -> list[dict[str, Any]]:
+    """Load a JSONL trace; blank lines are tolerated, bad lines raise."""
+    events: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def _spans(events: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    return [e for e in events if e.get("type") == "span"]
+
+
+def write_summary(events: Iterable[dict[str, Any]], path: str) -> str:
+    """Aggregate per-name span stats into a summary JSON file."""
+    from .analyze import aggregate_spans
+
+    summary = {
+        "spans": aggregate_spans(list(events)),
+    }
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def to_chrome_trace(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Convert span events to Chrome's ``trace_event`` JSON object.
+
+    Timestamps are microseconds relative to the earliest span start, so
+    the viewer opens at t=0 regardless of the wall-clock epoch.
+    """
+    spans = _spans(events)
+    origin = min((s["start"] for s in spans), default=0.0)
+    trace_events = [
+        {
+            "name": span["name"],
+            "ph": "X",
+            "ts": (span["start"] - origin) * 1e6,
+            "dur": span["duration"] * 1e6,
+            "pid": span.get("pid", 0),
+            "tid": span.get("thread", 0),
+            "args": span.get("attrs", {}),
+        }
+        for span in spans
+    ]
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[dict[str, Any]], path: str) -> str:
+    """Write :func:`to_chrome_trace` output as JSON; returns the path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(events), handle)
+        handle.write("\n")
+    return path

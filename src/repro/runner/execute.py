@@ -17,15 +17,30 @@ at grid-expansion time, so ``--jobs N`` is bit-identical to serial for
 every deterministic cell.  Cache files are written by the parent
 process only - workers just compute - so no cross-process file races
 exist by construction.
+
+Observability (see :mod:`repro.obs`): when a tracer is active - the
+ambient one installed by a CLI's ``--trace`` flag, or one the runner
+opens itself for ``RunnerConfig.trace_path`` - the whole grid runs
+under a ``run`` span with one ``cell`` span per cell (cache hits
+included, tagged ``cache_hit=True``).  Worker processes collect their
+spans in memory and ship them back with the cell payload; the parent
+re-parents each worker's root span under the ``run`` span and tags
+every event with the cell's content address, so serial and parallel
+runs produce one merged JSONL with the same tree shape.  Per-run
+metrics (cache hits/misses/stores, cells executed, per-cell wall-time
+distribution) land in the manifest's ``metrics`` section and, when
+tracing, as a ``metrics`` event in the trace.
 """
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Any
 
+from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.trace import collecting_tracer, get_tracer, trace_to, use_tracer
 from .cache import ResultCache, cache_key
 from .cells import run_cell
 from .manifest import build_manifest, write_manifest
@@ -34,17 +49,43 @@ from .spec import RunGrid, RunnerConfig, RunSpec
 __all__ = ["execute_cell", "run_grid", "RunOutcome"]
 
 
-def execute_cell(spec: RunSpec) -> dict[str, Any]:
+def _run_cell_spanned(spec: RunSpec, attrs: dict[str, Any]) -> dict[str, Any]:
+    """Run one cell under a ``cell`` span; the span clock times it."""
+    with get_tracer().span("cell", kind=spec.kind, **attrs) as span:
+        out = run_cell(spec.kind, dict(spec.params))
+    out["wall_seconds"] = span.duration
+    return out
+
+
+def execute_cell(
+    spec: RunSpec,
+    trace: bool = False,
+    span_attrs: dict[str, Any] | None = None,
+) -> dict[str, Any]:
     """Execute one cell and time it - the worker-safe entry point.
 
     Top-level (picklable) on purpose: ``ProcessPoolExecutor`` ships the
     :class:`RunSpec` to a worker and calls this by reference.  Returns
-    ``{"value", "fit", "wall_seconds"}``.
+    ``{"value", "fit", "wall_seconds"}``.  The cell's wall time comes
+    from its ``cell`` span (the obs clock), not a separate stopwatch.
+
+    ``trace=True`` is the worker-process contract: spans are collected
+    into a fresh in-memory tracer and returned under ``"trace_events"``
+    for the parent to merge.  It deliberately ignores any ambient
+    tracer - under the fork start method a worker *inherits* the
+    parent's enabled tracer, and emitting into that copy would silently
+    drop the spans when the worker exits.  The serial path passes
+    ``trace=False`` and lets spans flow into the ambient tracer
+    directly.
     """
-    start = time.perf_counter()
-    out = run_cell(spec.kind, dict(spec.params))
-    out["wall_seconds"] = time.perf_counter() - start
-    return out
+    attrs = dict(span_attrs or {})
+    if trace:
+        tracer = collecting_tracer()
+        with use_tracer(tracer):
+            payload = _run_cell_spanned(spec, attrs)
+        payload["trace_events"] = list(tracer.sink.events)
+        return payload
+    return _run_cell_spanned(spec, attrs)
 
 
 @dataclass(frozen=True)
@@ -87,6 +128,54 @@ def _record(
     }
 
 
+def _merge_worker_events(
+    tracer: Any, events: list[dict[str, Any]], *, parent_id: str | None, cell_key: str
+) -> None:
+    """Re-emit one worker's span events into the parent trace.
+
+    Worker roots (spans with no parent in their own process) are
+    re-parented under the parent's ``run`` span, and every span is
+    tagged with the cell's content address so a trace row can always be
+    joined back to its manifest/cache entry.
+    """
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        event = dict(event)
+        if event.get("parent_id") is None:
+            event["parent_id"] = parent_id
+        attrs = dict(event.get("attrs") or {})
+        attrs.setdefault("cell_key", cell_key)
+        event["attrs"] = attrs
+        tracer.emit(event)
+
+
+def _run_metrics(
+    grid: RunGrid,
+    records: list[dict[str, Any]],
+    cache: ResultCache | None,
+    executed: int,
+) -> MetricsRegistry:
+    """Assemble this run's metrics registry (mirrored into the global one)."""
+    registry = MetricsRegistry()
+    ambient = get_metrics()
+    registry.counter("runner.cells.total").inc(len(grid.cells))
+    registry.counter("runner.cells.executed").inc(executed)
+    registry.counter("runner.cells.cache_hits").inc(
+        sum(1 for record in records if record["cache_hit"])
+    )
+    wall = registry.histogram("runner.cell.wall_seconds")
+    for record in records:
+        if not record["cache_hit"]:
+            wall.observe(record["wall_seconds"])
+    if cache is not None:
+        stats = cache.stats()
+        for field in ("hits", "misses", "stores"):
+            registry.counter(f"runner.cache.{field}").inc(stats[field])
+            ambient.counter(f"runner.cache.{field}").inc(stats[field])
+    return registry
+
+
 def run_grid(grid: RunGrid, config: RunnerConfig | None = None) -> RunOutcome:
     """Execute every cell of ``grid`` under ``config`` and assemble.
 
@@ -96,66 +185,123 @@ def run_grid(grid: RunGrid, config: RunnerConfig | None = None) -> RunOutcome:
     """
     config = config or RunnerConfig()
     cache = ResultCache(config.cache_dir) if config.cache_dir else None
-    start = time.perf_counter()
 
-    keys = [cache_key(spec) for spec in grid.cells]
-    records: list[dict[str, Any] | None] = [None] * len(grid.cells)
-    pending: list[int] = []
-    for index, spec in enumerate(grid.cells):
-        entry = None
-        if cache is not None and config.resume and not spec.volatile:
-            entry = cache.load(keys[index])
-        if entry is not None:
-            records[index] = _record(
-                index, spec, keys[index],
-                {"value": entry.get("value"), "fit": entry.get("fit"),
-                 "wall_seconds": 0.0},
-                cache_hit=True,
+    with ExitStack() as stack:
+        tracer = get_tracer()
+        if config.trace_path and not tracer.enabled:
+            tracer = stack.enter_context(
+                trace_to(config.trace_path, experiment=grid.experiment)
             )
-        else:
-            pending.append(index)
+            stack.enter_context(use_tracer(tracer))
+        tracing = tracer.enabled
 
-    def _complete(index: int, payload: dict[str, Any]) -> None:
-        spec = grid.cells[index]
-        records[index] = _record(index, spec, keys[index], payload, cache_hit=False)
-        if cache is not None and not spec.volatile:
-            cache.store(
-                keys[index],
-                {
-                    "kind": spec.kind,
-                    "params": spec.params,
-                    "value": payload.get("value"),
-                    "fit": payload.get("fit"),
-                    "wall_seconds": payload.get("wall_seconds"),
-                },
-            )
+        keys = [cache_key(spec) for spec in grid.cells]
+        records: list[dict[str, Any] | None] = [None] * len(grid.cells)
+        pending: list[int] = []
 
-    if pending and config.jobs <= 1:
-        for index in pending:
-            _complete(index, execute_cell(grid.cells[index]))
-    elif pending:
-        workers = min(int(config.jobs), len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(execute_cell, grid.cells[index]): index
-                for index in pending
+        with tracer.span(
+            "run", experiment=grid.experiment, n_cells=len(grid.cells)
+        ) as run_span:
+            for index, spec in enumerate(grid.cells):
+                entry = None
+                if cache is not None and config.resume and not spec.volatile:
+                    entry = cache.load(keys[index])
+                if entry is not None:
+                    if tracing:
+                        with tracer.span(
+                            "cell", kind=spec.kind, index=index,
+                            cell_key=keys[index], cache_hit=True,
+                        ):
+                            pass
+                    records[index] = _record(
+                        index, spec, keys[index],
+                        {"value": entry.get("value"), "fit": entry.get("fit"),
+                         "wall_seconds": 0.0},
+                        cache_hit=True,
+                    )
+                else:
+                    pending.append(index)
+
+            def _complete(index: int, payload: dict[str, Any]) -> None:
+                spec = grid.cells[index]
+                events = payload.pop("trace_events", None)
+                if events and tracing:
+                    _merge_worker_events(
+                        tracer, events,
+                        parent_id=run_span.span_id if tracing else None,
+                        cell_key=keys[index],
+                    )
+                records[index] = _record(
+                    index, spec, keys[index], payload, cache_hit=False
+                )
+                if cache is not None and not spec.volatile:
+                    cache.store(
+                        keys[index],
+                        {
+                            "kind": spec.kind,
+                            "params": spec.params,
+                            "value": payload.get("value"),
+                            "fit": payload.get("fit"),
+                            "wall_seconds": payload.get("wall_seconds"),
+                        },
+                    )
+
+            if pending and config.jobs <= 1:
+                for index in pending:
+                    _complete(
+                        index,
+                        execute_cell(
+                            grid.cells[index],
+                            span_attrs={"index": index, "cell_key": keys[index]},
+                        ),
+                    )
+            elif pending:
+                workers = min(int(config.jobs), len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        pool.submit(
+                            execute_cell, grid.cells[index], tracing,
+                            {"index": index},
+                        ): index
+                        for index in pending
+                    }
+                    remaining = set(futures)
+                    while remaining:
+                        done, remaining = wait(
+                            remaining, return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            _complete(futures[future], future.result())
+
+            values = [record["value"] for record in records]  # type: ignore[index]
+            with tracer.span("assemble", experiment=grid.experiment):
+                value = grid.assemble(values)
+
+        registry = _run_metrics(
+            grid, records, cache, executed=len(pending)  # type: ignore[arg-type]
+        )
+        metrics = registry.snapshot()
+        if tracing:
+            tracer.emit({"type": "metrics", "values": metrics})
+
+        trace_info = None
+        if tracing:
+            sink = getattr(tracer, "sink", None)
+            trace_info = {
+                "events": len(getattr(sink, "events", ())),
+                "path": getattr(sink, "path", None),
             }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    _complete(futures[future], future.result())
 
-    values = [record["value"] for record in records]  # type: ignore[index]
-    value = grid.assemble(values)
-    manifest = build_manifest(
-        experiment=grid.experiment,
-        jobs=config.jobs,
-        records=records,  # type: ignore[arg-type]
-        cache_stats=cache.stats() if cache is not None else None,
-        resume=config.resume,
-        total_wall_seconds=time.perf_counter() - start,
-    )
-    if config.manifest_path:
-        write_manifest(config.manifest_path, manifest)
+        manifest = build_manifest(
+            experiment=grid.experiment,
+            jobs=config.jobs,
+            records=records,  # type: ignore[arg-type]
+            cache_stats=cache.stats() if cache is not None else None,
+            resume=config.resume,
+            total_wall_seconds=run_span.duration,
+            metrics=metrics,
+            trace=trace_info,
+        )
+        if config.manifest_path:
+            write_manifest(config.manifest_path, manifest)
     return RunOutcome(value=value, manifest=manifest, records=records)  # type: ignore[arg-type]

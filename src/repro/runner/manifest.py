@@ -4,8 +4,10 @@ A manifest is a JSON document written next to an experiment's artifact.
 It records, per cell: the content-address (cache key), the params, the
 value produced, whether the cache served it, this run's wall time, and
 a summary of the engine's :class:`~repro.engine.FitReport` telemetry.
-Run-level fields cover the cache hit/miss counters, worker count, and
-total wall time.
+Run-level fields cover the cache hit/miss counters, worker count, total
+wall time, the run's :mod:`repro.obs` metrics snapshot
+(``"metrics"``), and - when tracing was active - where the span trace
+went (``"trace"``).
 
 :func:`stable_manifest` strips every measurement field (wall times,
 cache traffic, worker counts, volatile timing values) and returns the
@@ -43,14 +45,19 @@ def build_manifest(
     cache_stats: dict[str, Any] | None,
     resume: bool,
     total_wall_seconds: float,
+    metrics: dict[str, Any] | None = None,
+    trace: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble the manifest dict for one completed grid run.
 
     ``records`` are per-cell dicts in grid order, each carrying
     ``kind``/``params``/``key``/``value``/``fit``/``volatile``/
-    ``cache_hit``/``wall_seconds``.
+    ``cache_hit``/``wall_seconds``.  ``metrics`` is the run's
+    :class:`repro.obs.MetricsRegistry` snapshot (cache traffic, cells
+    executed, wall-time distribution); ``trace`` describes the span
+    trace the run emitted (path + event count), when tracing was on.
     """
-    return {
+    manifest = {
         "schema": MANIFEST_SCHEMA,
         "experiment": experiment,
         "repro_version": __version__,
@@ -64,16 +71,30 @@ def build_manifest(
         "total_wall_seconds": float(total_wall_seconds),
         "cells": records,
     }
+    if metrics is not None:
+        manifest["metrics"] = metrics
+    if trace is not None:
+        manifest["trace"] = trace
+    return manifest
 
 
 def stable_manifest(manifest: dict[str, Any]) -> dict[str, Any]:
     """The deterministic core of a manifest.
 
     Drops everything that legitimately varies between executions of the
-    same grid: wall times, cache traffic, worker count, and the values
-    of volatile (timing) cells.  Two runs of the same ``RunSpec`` grid
-    must agree exactly on this view regardless of ``--jobs`` or cache
-    temperature - seeds are baked into the grid, never into workers.
+    same grid: wall times, worker count, trace/metrics telemetry, and
+    the values of volatile (timing) cells.  Two runs of the same
+    ``RunSpec`` grid must agree exactly on this view regardless of
+    ``--jobs`` - seeds are baked into the grid, never into workers -
+    and, for everything under ``"cells"``, regardless of cache
+    temperature too.
+
+    Run-level cache accounting is kept machine-readable rather than
+    stderr-only: the ``"cache"`` block carries the hit/miss/store
+    totals (also surfaced as ``runner.cache.*`` obs metrics).  These
+    are deterministic given the same grid, config, and cache
+    temperature; a cold-vs-warm comparison should therefore compare
+    ``stable["cells"]``, which is temperature-independent.
     """
     cells = []
     for record in manifest["cells"]:
@@ -93,11 +114,18 @@ def stable_manifest(manifest: dict[str, Any]) -> dict[str, Any]:
                 ),
             }
         )
+    cache = manifest.get("cache", {})
     return {
         "schema": manifest["schema"],
         "experiment": manifest["experiment"],
         "repro_version": manifest["repro_version"],
         "n_cells": manifest["n_cells"],
+        "cache": {
+            "enabled": bool(cache.get("enabled")),
+            "hits": cache.get("hits", 0),
+            "misses": cache.get("misses", 0),
+            "stores": cache.get("stores", 0),
+        },
         "cells": cells,
     }
 

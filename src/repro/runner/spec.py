@@ -95,12 +95,20 @@ class RunnerConfig:
         "recompute and refresh" switch.
     manifest_path:
         Where to write the run manifest JSON, or ``None`` to skip it.
+    trace_path:
+        Where to write the run's span trace (JSONL, see
+        :mod:`repro.obs`), or ``None`` to leave tracing to the ambient
+        tracer (the default; with no ambient tracer active, tracing is
+        off and costs nothing).  When an ambient tracer is already
+        active - e.g. a CLI ``--trace`` flag wrapped the whole
+        invocation - it wins and this field is ignored.
     """
 
     jobs: int = 1
     cache_dir: str | None = None
     resume: bool = True
     manifest_path: str | None = None
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         if int(self.jobs) < 1:

@@ -1,0 +1,70 @@
+"""The ``python -m repro.obs`` CLI against real generated traces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import read_events, trace_to
+from repro.obs.__main__ import main
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    with trace_to(path, experiment="unit") as tracer:
+        with tracer.span("fit", solver="mult"):
+            for index in range(3):
+                with tracer.span("iteration", index=index):
+                    pass
+        tracer.emit(
+            {"type": "metrics",
+             "values": {"cache.hits": {"type": "counter", "value": 2}}}
+        )
+    return path
+
+
+class TestReport:
+    def test_prints_tree_coverage_and_metrics(self, trace_path, capsys):
+        assert main(["report", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "4 spans" in out
+        assert "root coverage" in out
+        assert "iteration x3" in out
+        assert "## metrics" in out
+        assert "cache.hits: 2" in out
+
+    def test_no_spans_is_an_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text('{"type": "meta"}\n')
+        assert main(["report", str(empty)]) == 1
+        assert "no span events" in capsys.readouterr().out
+
+
+class TestExports:
+    def test_summary_subcommand(self, trace_path, tmp_path, capsys):
+        out_path = str(tmp_path / "summary.json")
+        assert main(["summary", trace_path, "-o", out_path]) == 0
+        summary = json.load(open(out_path, encoding="utf-8"))
+        assert summary["spans"]["iteration"]["count"] == 3
+
+    def test_chrome_subcommand(self, trace_path, tmp_path, capsys):
+        out_path = str(tmp_path / "chrome.json")
+        assert main(["chrome", trace_path, "-o", out_path]) == 0
+        chrome = json.load(open(out_path, encoding="utf-8"))
+        assert len(chrome["traceEvents"]) == 4
+
+
+class TestEndToEndWithEngine:
+    def test_traced_fit_produces_analysable_tree(self, tmp_path, rng, capsys):
+        from repro.core.smfl import SMFL
+
+        path = str(tmp_path / "fit.jsonl")
+        x = abs(rng.normal(size=(40, 6))) + 0.1
+        with trace_to(path):
+            SMFL(rank=3, n_spatial=2, max_iter=4, random_state=0).fit(x)
+        names = {e["name"] for e in read_events(path) if e.get("type") == "span"}
+        assert {"fit", "iteration", "evaluate"} <= names
+        assert main(["report", path]) == 0
+        assert "kernel:multiplicative" in capsys.readouterr().out

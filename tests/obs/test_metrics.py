@@ -1,0 +1,105 @@
+"""Metrics instruments: counters, gauges, Welford histograms, profiling."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    get_metrics,
+    profiled,
+    reset_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negatives(self):
+        counter = MetricsRegistry().counter("cells")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_gauge_holds_last_value(self):
+        gauge = MetricsRegistry().gauge("rss")
+        assert gauge.snapshot()["value"] is None
+        gauge.set(10)
+        gauge.set(7.5)
+        assert gauge.snapshot() == {"type": "gauge", "value": 7.5}
+
+    def test_histogram_matches_numpy_moments(self):
+        samples = [0.5, 1.25, 2.0, 8.0, 0.125]
+        histogram = MetricsRegistry().histogram("seconds")
+        for sample in samples:
+            histogram.observe(sample)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == len(samples)
+        assert snapshot["sum"] == sum(samples)
+        assert snapshot["min"] == min(samples)
+        assert snapshot["max"] == max(samples)
+        np.testing.assert_allclose(snapshot["mean"], np.mean(samples))
+        np.testing.assert_allclose(snapshot["stddev"], np.std(samples))
+
+    def test_empty_histogram_snapshot_is_minimal(self):
+        assert MetricsRegistry().histogram("h").snapshot() == {
+            "type": "histogram", "count": 0,
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("hits") is registry.counter("hits")
+
+    def test_one_name_one_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("hits")
+        with pytest.raises(ValueError, match="is a Counter"):
+            registry.gauge("hits")
+
+    def test_snapshot_is_name_sorted_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc()
+        registry.gauge("a.first").set(1.0)
+        registry.histogram("m.middle").observe(2.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a.first", "m.middle", "z.last"]
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_reset_clears(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+    def test_ambient_registry_is_process_wide(self):
+        reset_metrics()
+        try:
+            get_metrics().counter("ambient.test").inc(3)
+            assert get_metrics().snapshot()["ambient.test"]["value"] == 3
+        finally:
+            reset_metrics()
+
+
+class TestProfiled:
+    def test_records_peak_rss(self):
+        registry = MetricsRegistry()
+        with profiled(registry, prefix="mem"):
+            pass
+        assert registry.snapshot()["mem.peak_rss_kb"]["value"] > 0
+
+    def test_allocation_tracing_is_opt_in(self):
+        registry = MetricsRegistry()
+        with profiled(registry):
+            list(range(1000))
+        assert "profile.peak_traced_bytes" not in registry.snapshot()
+
+        with profiled(registry, trace_allocations=True):
+            buffer = np.zeros(1_000_000)
+            del buffer
+        peak = registry.snapshot()["profile.peak_traced_bytes"]["value"]
+        assert peak >= 8_000_000  # the 1M-float array was seen

@@ -120,11 +120,31 @@ class TestParallelDeterminism:
         stable = stable_manifest(outcome.manifest)
         assert "total_wall_seconds" not in stable
         assert "jobs" not in stable
-        assert "cache" not in stable
+        assert "metrics" not in stable
+        assert "trace" not in stable
+        # Cache accounting stays machine-readable (run-level totals)...
+        assert stable["cache"] == {
+            "enabled": False, "hits": 0, "misses": 0, "stores": 0,
+        }
         for cell in stable["cells"]:
+            # ... but per-cell measurement fields are stripped.
             assert "wall_seconds" not in cell
             assert "cache_hit" not in cell
             assert cell["value"] is not None  # deterministic cells keep values
+
+    def test_stable_manifest_carries_cache_totals(self, tmp_path):
+        grid = _tiny_grid()
+        cache_dir = str(tmp_path / "cache")
+        cold = stable_manifest(run_grid(grid, RunnerConfig(cache_dir=cache_dir)).manifest)
+        warm = stable_manifest(run_grid(grid, RunnerConfig(cache_dir=cache_dir)).manifest)
+        assert cold["cache"] == {
+            "enabled": True, "hits": 0, "misses": len(grid), "stores": len(grid),
+        }
+        assert warm["cache"] == {
+            "enabled": True, "hits": len(grid), "misses": 0, "stores": 0,
+        }
+        # The cell view stays temperature-independent.
+        assert warm["cells"] == cold["cells"]
 
     def test_stable_manifest_hides_volatile_values(self):
         grid = figure_9_grid(
