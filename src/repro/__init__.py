@@ -41,7 +41,7 @@ from .exceptions import (
 )
 from .masking import ObservationMask
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SMF",

@@ -34,6 +34,11 @@ from ..engine.stochastic import (
     BatchScheduler,
     StochasticWorkspace,
 )
+from ..engine.workspace import (
+    KERNEL_PATHS,
+    KernelWorkspace,
+    build_kernel_workspace,
+)
 from ..exceptions import NotFittedError, ValidationError
 from ..masking.mask import ObservationMask, mask_from_missing_values
 from ..obs.trace import get_tracer, traced
@@ -48,6 +53,7 @@ from ..validation import (
 from .convergence import DEFAULT_MAX_ITER
 from .initialization import init_factors
 from .objective import masked_frobenius_sq
+from .updates import frozen_column_prefix
 
 __all__ = ["FactorizationResult", "MatrixFactorizationBase", "clip_columns_to_observed"]
 
@@ -148,6 +154,16 @@ class MatrixFactorizationBase:
         Evaluate the objective every this many iterations (1 = every
         iteration; larger values trade convergence-check granularity
         for speed on large matrices).
+    kernel_path:
+        Batch-path execution strategy (see
+        :mod:`repro.engine.workspace`): ``"auto"`` (default) picks the
+        sparse-observed fast path at low observed density and the
+        allocation-free dense workspace otherwise; ``"workspace"`` and
+        ``"sparse"`` force a path; ``"reference"`` runs the naive
+        allocating update rules (the bit-exact baseline).  The dense
+        workspace is bit-identical to the reference; the sparse path
+        is numerically equivalent.  Ignored by ``method="stochastic"``
+        (those kernels own their buffers).
     clip_to_observed:
         When imputing, clip each column's filled values to the range of
         that column's *observed* entries (default ``True``).  Low-rank
@@ -176,6 +192,7 @@ class MatrixFactorizationBase:
         lr_decay: float = 0.0,
         init: str = "random",
         eval_every: int = 1,
+        kernel_path: str = "auto",
         clip_to_observed: bool = True,
         random_state: object = None,
     ) -> None:
@@ -213,6 +230,11 @@ class MatrixFactorizationBase:
         self.lr_decay = check_in_range(lr_decay, name="lr_decay", low=0.0)
         self.init = init
         self.eval_every = check_positive_int(eval_every, name="eval_every")
+        if kernel_path not in KERNEL_PATHS:
+            raise ValidationError(
+                f"unknown kernel_path {kernel_path!r}; available: {KERNEL_PATHS}"
+            )
+        self.kernel_path = kernel_path
         self.clip_to_observed = bool(clip_to_observed)
         self.random_state = random_state
 
@@ -227,6 +249,7 @@ class MatrixFactorizationBase:
         self._ctx_cache: tuple[tuple[int, int], KernelContext] | None = None
         self._scheduler: BatchScheduler | None = None
         self._workspace: StochasticWorkspace | None = None
+        self._kernel_workspace: KernelWorkspace | None = None
 
     # ----------------------------------------------------------------- hooks
 
@@ -261,6 +284,7 @@ class MatrixFactorizationBase:
             frozen_v=self._frozen_v_mask(v_shape),
             scheduler=self._scheduler,
             workspace=self._workspace,
+            kernel_workspace=self._kernel_workspace,
         )
 
     def _cached_kernel_context(self, v_shape: tuple[int, int]) -> KernelContext:
@@ -288,6 +312,21 @@ class MatrixFactorizationBase:
                 x_observed, observed, u, v, self._cached_kernel_context(v.shape)
             )
 
+    def _data_term(
+        self,
+        x: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        observed: np.ndarray,
+    ) -> float:
+        """Masked reconstruction error, via the fit's workspace when one
+        is active (allocation-free; dense mode bit-identical to the
+        reference expression)."""
+        ws = self._kernel_workspace
+        if ws is not None and ws.shape == x.shape:
+            return ws.masked_objective(x, u, v)
+        return masked_frobenius_sq(x, u, v, observed)
+
     def _objective(
         self,
         x: np.ndarray,
@@ -296,7 +335,7 @@ class MatrixFactorizationBase:
         observed: np.ndarray,
     ) -> float:
         """Objective tracked by the convergence monitor."""
-        return masked_frobenius_sq(x, u, v, observed)
+        return self._data_term(x, u, v, observed)
 
     # ------------------------------------------------------------ public API
 
@@ -350,9 +389,23 @@ class MatrixFactorizationBase:
         else:
             self._scheduler = None
             self._workspace = None
-        self._ctx_cache = None  # graph/landmark/stochastic structures rebuilt
 
         frozen = self._frozen_v_mask(v.shape)
+        if self.fit_method == "batch":
+            # Per-fit buffer arena + (for SMFL) the Gram-cached landmark
+            # block; `None` means the reference path was selected.
+            self._kernel_workspace = build_kernel_workspace(
+                x_observed,
+                observed,
+                kernel_path=self.kernel_path,
+                update_rule=self.update_rule,
+                frozen_prefix=frozen_column_prefix(frozen),
+                v0=v,
+            )
+        else:
+            self._kernel_workspace = None
+        self._ctx_cache = None  # graph/landmark/stochastic structures rebuilt
+
         if frozen is not None and frozen.any():
             telemetry = Telemetry(
                 method=self.method,

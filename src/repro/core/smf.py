@@ -19,10 +19,9 @@ import numpy as np
 from ..engine.kernels import KernelContext
 from ..exceptions import NotFittedError, ValidationError
 from ..masking.mask import ObservationMask
-from ..spatial.laplacian import laplacian_from_points
+from ..spatial.graph_cache import spatial_graph
 from ..validation import check_in_range, check_positive_int, check_spatial_columns
 from .factorization import MatrixFactorizationBase
-from .objective import masked_frobenius_sq
 
 __all__ = ["SMF"]
 
@@ -94,26 +93,22 @@ class SMF(MatrixFactorizationBase):
         check_spatial_columns(self.n_spatial, x.shape[1])
         spatial = x[:, : self.n_spatial]
         spatial_observed = mask.observed[:, : self.n_spatial]
-        similarity, degree, laplacian = laplacian_from_points(
+        # Content-addressed graph cache: λ/p sweeps and repeated seeds
+        # over one dataset share the same N² build instead of paying it
+        # per fit.  The returned arrays are read-only and shared; the
+        # `_op` views are the sparse O(p N K) per-iteration operators
+        # (dense fallback when scipy is absent).
+        graph = spatial_graph(
             spatial,
             self.p_neighbors,
             observed=spatial_observed,
             method=self.neighbor_method,
         )
-        self.similarity_ = similarity
-        self.degree_ = np.diag(degree).copy()
-        self.laplacian_ = laplacian
-        # Sparse view of the p-NN graph for the per-iteration D @ U
-        # product (Proposition 1 assumes this costs O(p N K), not
-        # O(N^2 K)); scipy is optional - fall back to dense if absent.
-        try:
-            from scipy import sparse
-
-            self._similarity_op = sparse.csr_matrix(similarity)
-            self._laplacian_op = sparse.csr_matrix(laplacian)
-        except ImportError:  # pragma: no cover - scipy is a soft dependency
-            self._similarity_op = similarity
-            self._laplacian_op = laplacian
+        self.similarity_ = graph.similarity
+        self.degree_ = graph.degree
+        self.laplacian_ = graph.laplacian
+        self._similarity_op = graph.similarity_op
+        self._laplacian_op = graph.laplacian_op
 
     def _objective(
         self,
@@ -122,7 +117,7 @@ class SMF(MatrixFactorizationBase):
         v: np.ndarray,
         observed: np.ndarray,
     ) -> float:
-        value = masked_frobenius_sq(x, u, v, observed)
+        value = self._data_term(x, u, v, observed)
         if self.lam != 0.0:
             assert self._laplacian_op is not None
             # Sparse quadratic form: equals smoothness_penalty(u, L)
@@ -146,6 +141,7 @@ class SMF(MatrixFactorizationBase):
             frozen_v=self._frozen_v_mask(v_shape),
             scheduler=self._scheduler,
             workspace=self._workspace,
+            kernel_workspace=self._kernel_workspace,
         )
 
     def feature_locations(self) -> np.ndarray:

@@ -27,6 +27,7 @@ import numpy as np
 __all__ = [
     "EPSILON",
     "frozen_column_prefix",
+    "guarded_divide",
     "multiplicative_update_u",
     "multiplicative_update_v",
     "gradient_update_u",
@@ -35,6 +36,50 @@ __all__ = [
 
 EPSILON = 1e-12
 """Denominator guard for the multiplicative rules."""
+
+
+def guarded_divide(
+    numerator: np.ndarray,
+    denominator: np.ndarray,
+    *,
+    out: np.ndarray | None = None,
+    denominator_is_scratch: bool = False,
+) -> np.ndarray:
+    """``numerator / (denominator + EPSILON)`` — the one division policy.
+
+    Every multiplicative-rule division in the package (the reference
+    rules below, the workspace kernels, and the sparse fast path) goes
+    through this helper, so the zero-denominator behaviour is defined
+    exactly once: the epsilon floor keeps the quotient finite, and a
+    zero numerator over a zero denominator yields 0 rather than NaN.
+    The explicit :func:`numpy.errstate` makes the policy auditable —
+    nothing in the quotient may warn or raise, because the floor
+    already decided the semantics.
+
+    Parameters
+    ----------
+    numerator, denominator:
+        Same-shape non-negative arrays (the multiplicative rules
+        guarantee non-negativity; nothing here depends on it beyond
+        the floor being effective).
+    out:
+        Optional output buffer (may alias ``numerator`` for in-place
+        workspace use).  ``None`` allocates, matching the reference
+        expression bit for bit.
+    denominator_is_scratch:
+        ``True`` lets the helper add the floor into ``denominator``
+        in place instead of allocating ``denominator + EPSILON`` —
+        only for callers that own the array as scratch.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        if out is None:
+            return numerator / (denominator + EPSILON)
+        if denominator_is_scratch:
+            denominator += EPSILON
+            floored = denominator
+        else:
+            floored = denominator + EPSILON
+        return np.divide(numerator, floored, out=out)
 
 
 def frozen_column_prefix(frozen_v: np.ndarray | None) -> int | None:
@@ -100,7 +145,7 @@ def multiplicative_update_u(
         # requires the D @ U product to exploit that sparsity.
         numerator = numerator + lam * np.asarray(similarity @ u)
         denominator = denominator + lam * (degree[:, None] * u)
-    return u * (numerator / (denominator + EPSILON))
+    return u * guarded_divide(numerator, denominator)
 
 
 def multiplicative_update_v(
@@ -136,12 +181,12 @@ def multiplicative_update_v(
             numerator = u.T @ x_observed[:, live]
             denominator = u.T @ recon_live
             updated = v.copy()
-            updated[:, live] = v_live * (numerator / (denominator + EPSILON))
+            updated[:, live] = v_live * guarded_divide(numerator, denominator)
             return updated
     reconstruction = np.where(observed, u @ v, 0.0)
     numerator = u.T @ x_observed
     denominator = u.T @ reconstruction
-    updated = v * (numerator / (denominator + EPSILON))
+    updated = v * guarded_divide(numerator, denominator)
     if frozen_v is not None:
         updated = np.where(frozen_v, v, updated)
     return updated

@@ -23,6 +23,10 @@ Architecture (see DESIGN.md section "Engine layer")::
 - :mod:`repro.engine.stochastic` - the mini-batch path:
   :class:`BatchScheduler` epoch planning, the per-fit
   :class:`StochasticWorkspace`, and the ``sgd``/``svrg`` kernels;
+- :mod:`repro.engine.workspace` - the allocation-free fast path:
+  :class:`KernelWorkspace` (preallocated fused update buffers, the
+  frozen-landmark Gram cache, the sparse-observed gather/scatter
+  kernels) selected per fit via the models' ``kernel_path`` option;
 - :mod:`repro.engine.timing` - telemetry-driven timing helpers, the
   SMF-vs-SMFL micro-benchmark (Figure 9's per-iteration cost claim),
   and the stochastic-vs-full-batch benchmark
@@ -50,16 +54,32 @@ from .stochastic import (
     BatchScheduler,
     StochasticWorkspace,
 )
+from .workspace import (
+    KERNEL_PATHS,
+    SPARSE_DENSITY_THRESHOLD,
+    BufferArena,
+    GramCache,
+    KernelWorkspace,
+    build_kernel_workspace,
+    resolve_kernel_path,
+)
 
 __all__ = [
     "BatchScheduler",
+    "BufferArena",
     "Callback",
     "ConvergenceMonitor",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_MAX_ITER",
     "EngineOutcome",
+    "GramCache",
+    "KERNEL_PATHS",
+    "KernelWorkspace",
+    "SPARSE_DENSITY_THRESHOLD",
     "STOCHASTIC_KERNELS",
     "StochasticWorkspace",
+    "build_kernel_workspace",
+    "resolve_kernel_path",
     "FactorizationResult",
     "FitReport",
     "IterationRecord",

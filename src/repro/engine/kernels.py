@@ -52,6 +52,10 @@ class KernelContext:
     #: stochastic kernels (see :mod:`repro.engine.stochastic`).
     scheduler: object | None = None
     workspace: object | None = None
+    #: Per-fit :class:`~repro.engine.workspace.KernelWorkspace` for the
+    #: allocation-free batch paths; ``None`` selects the reference
+    #: (naive, allocating) update rules.
+    kernel_workspace: object | None = None
     #: Set in __post_init__: L when frozen_v is the landmark layout
     #: (first L whole columns), letting kernels take the sliced
     #: live-column update without re-analysing the mask every step.
@@ -124,6 +128,9 @@ class MultiplicativeKernel(UpdateKernel):
         v: np.ndarray,
         ctx: KernelContext,
     ) -> tuple[np.ndarray, np.ndarray]:
+        ws = ctx.kernel_workspace
+        if ws is not None:
+            return ws.multiplicative_step(x_observed, observed, u, v, ctx)
         u = multiplicative_update_u(
             x_observed, observed, u, v,
             lam=ctx.lam, similarity=ctx.similarity, degree=ctx.degree,
@@ -148,6 +155,9 @@ class GradientKernel(UpdateKernel):
         v: np.ndarray,
         ctx: KernelContext,
     ) -> tuple[np.ndarray, np.ndarray]:
+        ws = ctx.kernel_workspace
+        if ws is not None:
+            return ws.gradient_step(x_observed, observed, u, v, ctx)
         u = gradient_update_u(
             x_observed, observed, u, v,
             learning_rate=ctx.learning_rate, lam=ctx.lam, laplacian=ctx.laplacian,

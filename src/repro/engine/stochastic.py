@@ -43,6 +43,7 @@ import numpy as np
 from ..exceptions import ValidationError
 from ..validation import check_in_range, check_positive_int
 from .kernels import KernelContext, UpdateKernel, register_kernel
+from .workspace import BufferArena
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -126,25 +127,29 @@ class BatchScheduler:
             yield order[start : start + self.batch_size]
 
 
-class StochasticWorkspace:
+class StochasticWorkspace(BufferArena):
     """Per-fit mutable state shared by the stochastic kernels.
 
     The :class:`~repro.engine.kernels.KernelContext` is a frozen,
     per-fit object; everything a stochastic kernel must *mutate*
-    between steps lives here instead: the epoch counter, the reused
-    residual buffer, the SVRG anchor, and the per-epoch telemetry
+    between steps lives here instead: the epoch counter, the named
+    scratch buffers (batch gathers, gradient blocks, SVRG anchors —
+    one allocation per fit, not per batch; see :class:`BufferArena`),
+    the ping-pong output factors, and the per-epoch telemetry
     accumulators that land in
     :attr:`~repro.engine.FitReport.sampled_objectives` and
     :attr:`~repro.engine.FitReport.rows_touched`.
     """
 
     def __init__(self) -> None:
+        super().__init__()
         self.epoch: int = 0
         self.sampled_objectives: list[float] = []
         self.rows_touched: list[int] = []
         self._residual: np.ndarray | None = None
         # SVRG anchor: residual of the epoch-start iterate plus the full
-        # data-term gradient of V at that iterate.
+        # data-term gradient of V at that iterate (views into reused
+        # buffers, refreshed every epoch).
         self.anchor_u: np.ndarray | None = None
         self.anchor_residual: np.ndarray | None = None
         self.anchor_grad_v: np.ndarray | None = None
@@ -182,11 +187,20 @@ def _masked_residual(
     v: np.ndarray,
     x_rows: np.ndarray,
     observed_rows: np.ndarray,
+    unobserved_rows: np.ndarray | None = None,
 ) -> np.ndarray:
-    """``R_O(U_B V - X_B)`` into ``buffer`` (no new allocation)."""
+    """``R_O(U_B V - X_B)`` into ``buffer`` (no new allocation).
+
+    ``unobserved_rows`` is the precomputed ``~observed_rows`` buffer;
+    ``None`` falls back to allocating the negation (callers outside the
+    buffered kernels).
+    """
     np.matmul(u_rows, v, out=buffer)
     buffer -= x_rows
-    buffer[~observed_rows] = 0.0
+    if unobserved_rows is None:
+        buffer[~observed_rows] = 0.0
+    else:
+        np.copyto(buffer, 0.0, where=unobserved_rows)
     return buffer
 
 
@@ -196,21 +210,90 @@ def _step_v(
     lr: float,
     ctx: KernelContext,
     live: slice | None,
+    workspace: StochasticWorkspace | None = None,
 ) -> None:
     """Projected step on the live part of ``V``, in place.
 
     ``live`` is the live-column slice when the frozen cells are the
     landmark prefix (``grad_v`` then only covers those columns); with a
     general frozen mask the whole update is computed and the frozen
-    cells restored, exactly like the full-batch rules.
+    cells restored, exactly like the full-batch rules.  With a
+    ``workspace``, ``grad_v`` is consumed as scratch (scaled in place)
+    and the step allocates nothing.
     """
     if live is not None:
-        np.maximum(v[:, live] - lr * grad_v, 0.0, out=v[:, live])
+        if workspace is None:
+            np.maximum(v[:, live] - lr * grad_v, 0.0, out=v[:, live])
+            return
+        grad_v *= lr
+        tmp = workspace.buf("v_step", grad_v.shape)
+        np.subtract(v[:, live], grad_v, out=tmp)
+        np.maximum(tmp, 0.0, out=v[:, live])
         return
     updated = np.maximum(v - lr * grad_v, 0.0)
     if ctx.frozen_v is not None:
         updated = np.where(ctx.frozen_v, v, updated)
     v[...] = updated
+
+
+def _batch_u_step(
+    x_observed: np.ndarray,
+    observed: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    ctx: KernelContext,
+    workspace: StochasticWorkspace,
+    batch: np.ndarray,
+    lr: float,
+    cap: int,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Per-batch U work shared by SGD and SVRG, allocation-free.
+
+    Gathers the batch rows into reused buffers, takes the projected
+    step on ``U_B`` (scattering back into ``u``), and refreshes the
+    masked residual at the updated rows — the same U-then-V sequencing
+    and operation order as the previous allocating implementation, so
+    the results are bit-identical.
+
+    Returns ``(u_rows, residual, sq)``: buffer views of the updated
+    batch rows and their residual, plus the pre-step squared-residual
+    contribution to the epoch's sampled objective.
+    """
+    rows = batch.shape[0]
+    m = x_observed.shape[1]
+    k = u.shape[1]
+    x_rows = workspace.buf("x_rows", (cap, m))[:rows]
+    observed_rows = workspace.buf("observed_rows", (cap, m), np.bool_)[:rows]
+    unobserved_rows = workspace.buf("unobserved_rows", (cap, m), np.bool_)[:rows]
+    u_rows = workspace.buf("u_rows", (cap, k))[:rows]
+    np.take(x_observed, batch, axis=0, out=x_rows)
+    np.take(observed, batch, axis=0, out=observed_rows)
+    np.logical_not(observed_rows, out=unobserved_rows)
+    np.take(u, batch, axis=0, out=u_rows)
+    buffer = workspace.residual_buffer(rows, m)
+    residual = _masked_residual(
+        buffer, u_rows, v, x_rows, observed_rows, unobserved_rows
+    )
+    sq = float(np.vdot(residual, residual))
+    # grad_U = 2 R_B V^T (+ 2 lam (L U)_B): scale the residual first,
+    # exactly as the reference's ``2.0 * residual @ v.T`` binds.
+    residual *= 2.0
+    grad_u = workspace.buf("grad_u", (cap, k))[:rows]
+    np.matmul(residual, v.T, out=grad_u)
+    if ctx.lam != 0.0 and ctx.laplacian is not None:
+        t = _laplacian_rows(ctx, u, batch)
+        t *= 2.0 * ctx.lam
+        grad_u += t
+    grad_u *= lr
+    np.subtract(u_rows, grad_u, out=u_rows)
+    np.maximum(u_rows, 0.0, out=u_rows)
+    u[batch] = u_rows
+    # V sees the refreshed residual at the updated batch rows — the
+    # same U-then-V sequencing as the full-batch kernels.
+    residual = _masked_residual(
+        buffer, u_rows, v, x_rows, observed_rows, unobserved_rows
+    )
+    return u_rows, residual, sq
 
 
 def _live_slice(ctx: KernelContext, n_cols: int) -> slice | None:
@@ -257,33 +340,37 @@ class SGDKernel(UpdateKernel):
     ) -> tuple[np.ndarray, np.ndarray]:
         scheduler, workspace = _require_schedule(ctx, "sgd")
         n, m = x_observed.shape
+        k = u.shape[1]
+        cap = scheduler.batch_size
         lr = scheduler.step_size(workspace.epoch)
         live = _live_slice(ctx, v.shape[1])
-        u = u.copy()
-        v = v.copy()
+        out_u = workspace.out_for("u", u)
+        np.copyto(out_u, u)
+        u = out_u
+        out_v = workspace.out_for("v", v)
+        np.copyto(out_v, v)
+        v = out_v
         sampled = 0.0
         touched = 0
         for batch in scheduler.batches(workspace.epoch):
             rows = batch.shape[0]
-            x_rows = x_observed[batch]
-            observed_rows = observed[batch]
-            buffer = workspace.residual_buffer(rows, m)
-            residual = _masked_residual(buffer, u[batch], v, x_rows, observed_rows)
-            sampled += float(np.vdot(residual, residual))
-            grad_u = 2.0 * residual @ v.T
-            if ctx.lam != 0.0 and ctx.laplacian is not None:
-                grad_u += 2.0 * ctx.lam * _laplacian_rows(ctx, u, batch)
-            u_rows = np.maximum(u[batch] - lr * grad_u, 0.0)
-            u[batch] = u_rows
-            # V sees the refreshed residual at the updated batch rows —
-            # the same U-then-V sequencing as the full-batch kernels.
-            residual = _masked_residual(buffer, u_rows, v, x_rows, observed_rows)
+            u_rows, residual, sq = _batch_u_step(
+                x_observed, observed, u, v, ctx, workspace, batch, lr, cap
+            )
+            sampled += sq
             scale = 2.0 * n / rows
             if live is not None:
-                grad_v = scale * u_rows.T @ residual[:, live]
+                # Scale into a C buffer and hand its transpose (an
+                # F-contiguous view) to the gemm — the exact operand
+                # layout of the reference's ``scale * u_rows.T @ ...``.
+                u_scaled = workspace.buf("u_rows_scaled", (cap, k))[:rows]
+                np.multiply(u_rows, scale, out=u_scaled)
+                grad_v = workspace.buf("grad_v", (k, m - live.start))
+                np.matmul(u_scaled.T, residual[:, live], out=grad_v)
+                _step_v(v, grad_v, lr, ctx, live, workspace)
             else:
                 grad_v = scale * u_rows.T @ residual
-            _step_v(v, grad_v, lr, ctx, live)
+                _step_v(v, grad_v, lr, ctx, live)
             touched += rows
         workspace.record_epoch(touched, sampled)
         return u, v
@@ -312,49 +399,65 @@ class SVRGKernel(UpdateKernel):
     ) -> tuple[np.ndarray, np.ndarray]:
         scheduler, workspace = _require_schedule(ctx, "svrg")
         n, m = x_observed.shape
+        k = u.shape[1]
+        cap = scheduler.batch_size
         lr = scheduler.step_size(workspace.epoch)
         live = _live_slice(ctx, v.shape[1])
-        # Epoch anchor: full residual + full data-term V gradient.
-        anchor_u = u.copy()
-        anchor_residual = np.where(observed, anchor_u @ v - x_observed, 0.0)
+        # Epoch anchor: full residual + full data-term V gradient, built
+        # in reused buffers (one allocation per fit, not per epoch).
+        anchor_u = workspace.buf("anchor_u", (n, k))
+        np.copyto(anchor_u, u)
+        unobserved = workspace.buf("unobserved_full", (n, m), np.bool_)
+        np.logical_not(observed, out=unobserved)
+        anchor_residual = workspace.buf("anchor_residual", (n, m))
+        np.matmul(anchor_u, v, out=anchor_residual)
+        np.subtract(anchor_residual, x_observed, out=anchor_residual)
+        np.copyto(anchor_residual, 0.0, where=unobserved)
+        anchor_u2 = workspace.buf("anchor_u_x2", (n, k))
+        np.multiply(anchor_u, 2.0, out=anchor_u2)
         if live is not None:
-            anchor_grad_v = 2.0 * anchor_u.T @ anchor_residual[:, live]
+            anchor_grad_v = workspace.buf("anchor_grad_v", (k, m - live.start))
+            np.matmul(anchor_u2.T, anchor_residual[:, live], out=anchor_grad_v)
         else:
-            anchor_grad_v = 2.0 * anchor_u.T @ anchor_residual
+            anchor_grad_v = workspace.buf("anchor_grad_v", (k, m))
+            np.matmul(anchor_u2.T, anchor_residual, out=anchor_grad_v)
         workspace.anchor_u = anchor_u
         workspace.anchor_residual = anchor_residual
         workspace.anchor_grad_v = anchor_grad_v
-        u = u.copy()
-        v = v.copy()
+        out_u = workspace.out_for("u", u)
+        np.copyto(out_u, u)
+        u = out_u
+        out_v = workspace.out_for("v", v)
+        np.copyto(out_v, v)
+        v = out_v
         sampled = 0.0
         touched = 0
         for batch in scheduler.batches(workspace.epoch):
             rows = batch.shape[0]
-            x_rows = x_observed[batch]
-            observed_rows = observed[batch]
-            buffer = workspace.residual_buffer(rows, m)
-            residual = _masked_residual(buffer, u[batch], v, x_rows, observed_rows)
-            sampled += float(np.vdot(residual, residual))
-            grad_u = 2.0 * residual @ v.T
-            if ctx.lam != 0.0 and ctx.laplacian is not None:
-                grad_u += 2.0 * ctx.lam * _laplacian_rows(ctx, u, batch)
-            u_rows = np.maximum(u[batch] - lr * grad_u, 0.0)
-            u[batch] = u_rows
-            residual = _masked_residual(buffer, u_rows, v, x_rows, observed_rows)
+            u_rows, residual, sq = _batch_u_step(
+                x_observed, observed, u, v, ctx, workspace, batch, lr, cap
+            )
+            sampled += sq
             scale = 2.0 * n / rows
-            anchor_rows = anchor_residual[batch]
+            anchor_rows = workspace.buf("anchor_rows", (cap, m))[:rows]
+            np.take(anchor_residual, batch, axis=0, out=anchor_rows)
+            anchor_u_rows = workspace.buf("anchor_u_rows", (cap, k))[:rows]
+            np.take(anchor_u, batch, axis=0, out=anchor_u_rows)
             if live is not None:
-                grad_v = (
-                    scale * (u_rows.T @ residual[:, live]
-                             - anchor_u[batch].T @ anchor_rows[:, live])
-                    + anchor_grad_v
-                )
+                grad_v = workspace.buf("grad_v", (k, m - live.start))
+                np.matmul(u_rows.T, residual[:, live], out=grad_v)
+                grad_v2 = workspace.buf("grad_v2", (k, m - live.start))
+                np.matmul(anchor_u_rows.T, anchor_rows[:, live], out=grad_v2)
+                np.subtract(grad_v, grad_v2, out=grad_v)
+                grad_v *= scale
+                grad_v += anchor_grad_v
+                _step_v(v, grad_v, lr, ctx, live, workspace)
             else:
                 grad_v = (
-                    scale * (u_rows.T @ residual - anchor_u[batch].T @ anchor_rows)
+                    scale * (u_rows.T @ residual - anchor_u_rows.T @ anchor_rows)
                     + anchor_grad_v
                 )
-            _step_v(v, grad_v, lr, ctx, live)
+                _step_v(v, grad_v, lr, ctx, live)
             touched += rows
         workspace.record_epoch(touched, sampled)
         return u, v

@@ -27,7 +27,15 @@ This module provides:
   :mod:`repro.obs` layer's own acceptance gate: with the null tracer
   active the instrumented engine must stay within 2% of the
   pre-instrumentation per-iteration medians in ``BENCH_engine.json``,
-  persisted as ``BENCH_obs.json``.
+  persisted as ``BENCH_obs.json``;
+- :func:`kernel_benchmark` / :func:`record_kernel_baseline` - the
+  :mod:`repro.engine.workspace` execution paths (reference vs dense
+  workspace vs sparse-observed) across missing rates on an
+  Economic-shaped synthetic matrix, with bit-identity / numerical-
+  equivalence acceptance flags and a Figure 9-style SMF-vs-SMFL
+  section, persisted as ``BENCH_kernels.json`` (smoke mode runs tiny
+  shapes for CI; ``--check`` turns failed acceptance into a nonzero
+  exit).
 
 All timing in this module runs on the obs span clock
 (:meth:`Tracer.span <repro.obs.trace.Tracer.span>` /
@@ -65,6 +73,8 @@ __all__ = [
     "record_runner_baseline",
     "obs_overhead_benchmark",
     "record_obs_baseline",
+    "kernel_benchmark",
+    "record_kernel_baseline",
 ]
 
 
@@ -508,6 +518,143 @@ def record_obs_baseline(
     return results
 
 
+def kernel_benchmark(
+    *,
+    n_rows: int = 8500,
+    n_cols: int = 500,
+    rank: int = 12,
+    missing_rates: tuple[float, ...] = (0.2, 0.5, 0.8),
+    max_iter: int = 8,
+    repeats: int = 2,
+    warmup_iter: int = 2,
+    seed: int = 0,
+    smoke: bool = False,
+) -> dict[str, Any]:
+    """Reference vs workspace vs sparse kernel paths across missing rates.
+
+    For each missing rate a masked-NMF fit runs on each
+    :mod:`repro.engine.workspace` execution path and the telemetry's
+    ``loop_seconds / n_iter`` is compared (best of ``repeats``, after
+    one warmup fit per path that absorbs first-touch page faults and
+    malloc-arena growth — cold-start numbers overstate whichever path
+    runs first).  The default shape is the Economic dataset's tall
+    aspect ratio scaled up until an iteration costs ~100 ms, large
+    enough that per-iteration allocations dominate the reference path.
+
+    Alongside the timings the benchmark records the correctness
+    contract of each path: the dense workspace must be **bit-identical**
+    to the reference (factors compared with ``array_equal``), the
+    sparse path numerically equivalent (max absolute factor deviation).
+    A Figure 9-style SMF-vs-SMFL section (via :func:`engine_benchmark`,
+    whose missing rate keeps auto-selection on the dense workspace
+    path) ties the kernel work back to the paper's per-iteration cost
+    claim.
+
+    ``smoke=True`` shrinks everything to CI scale (seconds, not
+    minutes) and relaxes the speedup targets to break-even: tiny shapes
+    prove the machinery and the bit-identity contract, not the
+    large-shape throughput.
+    """
+    from ..core.nmf import MaskedNMF
+
+    if smoke:
+        n_rows, n_cols, rank = min(n_rows, 400), min(n_cols, 80), min(rank, 6)
+        max_iter, repeats = min(max_iter, 6), max(repeats, 3)
+    ws_target = 1.0 if smoke else 2.0
+    sparse_target = 1.0 if smoke else 3.0
+
+    rng = np.random.default_rng(seed)
+    x = rng.random((n_rows, n_cols)) * 5.0
+
+    def _fit(xm: np.ndarray, path: str, iters: int) -> Any:
+        model = MaskedNMF(
+            rank=rank, max_iter=iters, tol=0.0, random_state=seed,
+            kernel_path=path,
+        )
+        model.fit(xm)
+        return model
+
+    results: dict[str, Any] = {
+        "shape": [n_rows, n_cols],
+        "rank": rank,
+        "max_iter": max_iter,
+        "repeats": repeats,
+        "smoke": smoke,
+        "rates": {},
+    }
+    ws_speedups: list[float] = []
+    sparse_high_missing_speedup = None
+    sparse_max_dev = 0.0
+    ws_bit_identical = True
+    for rate in missing_rates:
+        observed = np.random.default_rng(seed + 1).random(x.shape) > rate
+        xm = np.where(observed, x, np.nan)
+        entry: dict[str, Any] = {}
+        reference = None
+        for path in ("reference", "workspace", "sparse"):
+            _fit(xm, path, warmup_iter)  # warmup: page faults, arenas
+            best = float("inf")
+            model = None
+            for _ in range(repeats):
+                model = _fit(xm, path, max_iter)
+                report = model.fit_report_
+                best = min(best, report.loop_seconds / max(report.n_iter, 1))
+            entry[path] = {"iteration_seconds": best}
+            if path == "reference":
+                reference = model
+            else:
+                entry[path]["speedup"] = (
+                    entry["reference"]["iteration_seconds"] / max(best, 1e-12)
+                )
+                dev = max(
+                    float(np.abs(model.u_ - reference.u_).max()),
+                    float(np.abs(model.v_ - reference.v_).max()),
+                )
+                if path == "workspace":
+                    bit = bool(
+                        np.array_equal(model.u_, reference.u_)
+                        and np.array_equal(model.v_, reference.v_)
+                    )
+                    entry[path]["bit_identical"] = bit
+                    ws_bit_identical = ws_bit_identical and bit
+                    ws_speedups.append(entry[path]["speedup"])
+                else:
+                    entry[path]["max_factor_deviation"] = dev
+                    sparse_max_dev = max(sparse_max_dev, dev)
+                    if rate == max(missing_rates):
+                        sparse_high_missing_speedup = entry[path]["speedup"]
+        results["rates"][str(rate)] = entry
+
+    # Figure 9's per-iteration claim, now running on the workspace path
+    # (missing rate 0.1 keeps auto-selection dense and bit-exact).
+    results["smf_vs_smfl"] = engine_benchmark(
+        row_counts=(150,) if smoke else (300, 600),
+        max_iter=30 if smoke else 60,
+        seed=seed,
+    )
+    results["acceptance"] = {
+        "workspace_bit_identical": bool(ws_bit_identical),
+        f"workspace_speedup_ge_{ws_target:g}x": bool(
+            ws_speedups and min(ws_speedups) >= ws_target
+        ),
+        f"sparse_speedup_ge_{sparse_target:g}x_at_high_missing": bool(
+            sparse_high_missing_speedup is not None
+            and sparse_high_missing_speedup >= sparse_target
+        ),
+        "sparse_factor_deviation_le_1e-8": bool(sparse_max_dev <= 1e-8),
+    }
+    return results
+
+
+def record_kernel_baseline(
+    path: str = "results/BENCH_kernels.json", **kwargs: Any
+) -> dict[str, Any]:
+    """Run :func:`kernel_benchmark` and write the result as JSON."""
+    results = kernel_benchmark(**kwargs)
+    _write_json(path, results)
+    return results
+
+
 if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
     import argparse
     from contextlib import nullcontext
@@ -537,6 +684,32 @@ if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
         "(writes results/BENCH_obs.json)",
     )
     parser.add_argument(
+        "--kernels",
+        action="store_true",
+        help="run the kernel-path benchmark - reference vs dense "
+        "workspace vs sparse-observed across missing rates (writes "
+        "results/BENCH_kernels.json by default; see --out)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="with --kernels: tiny shapes and break-even targets for "
+        "CI (bit-identity is still enforced at full strictness)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="with --kernels: exit nonzero when any acceptance flag "
+        "is False",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="with --kernels: where to write the benchmark JSON "
+        "(default results/BENCH_kernels.json)",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -551,8 +724,26 @@ if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
     )
     # The benchmark span roots the whole run (setup included), so a
     # --trace report's root coverage reflects the full CLI wall time.
+    exit_code = 0
     with tracing_ctx, get_tracer().span("benchmark"):
-        if cli_args.obs:
+        if cli_args.kernels:
+            recorded = record_kernel_baseline(
+                path=cli_args.out or "results/BENCH_kernels.json",
+                smoke=cli_args.smoke,
+            )
+            for rate, entry in recorded["rates"].items():
+                print(
+                    f"missing={rate}: "
+                    f"ref {entry['reference']['iteration_seconds']:.3e}s/it, "
+                    f"workspace {entry['workspace']['speedup']:.2f}x "
+                    f"(bit_identical={entry['workspace']['bit_identical']}), "
+                    f"sparse {entry['sparse']['speedup']:.2f}x "
+                    f"(max dev {entry['sparse']['max_factor_deviation']:.1e})"
+                )
+            print(f"acceptance: {recorded['acceptance']}")
+            if cli_args.check and not all(recorded["acceptance"].values()):
+                exit_code = 1
+        elif cli_args.obs:
             recorded = record_obs_baseline()
             worst = recorded["worst_disabled_over_baseline"]
             print(
@@ -605,3 +796,5 @@ if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
             f"[trace] {cli_args.trace} "
             f"(analyse: python -m repro.obs report {cli_args.trace})"
         )
+    if exit_code:
+        raise SystemExit(exit_code)

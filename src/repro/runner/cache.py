@@ -32,7 +32,16 @@ from typing import Any
 from .. import __version__
 from .spec import RunSpec
 
-__all__ = ["canonical_json", "cache_key", "ResultCache"]
+__all__ = ["NUMERICS_VERSION", "canonical_json", "cache_key", "ResultCache"]
+
+NUMERICS_VERSION = 1
+"""Manual generation counter of the *numerical* contract.
+
+Bump this when a solver change is allowed to alter result bits (a new
+default path, a reordered reduction) so every cached entry invalidates
+even if ``repro.__version__`` stays put.  Pure-speed changes that keep
+results bit-identical (the workspace kernels, the graph cache) must NOT
+bump it - cache reuse across them is exactly the point."""
 
 
 def canonical_json(payload: Any) -> str:
@@ -50,11 +59,12 @@ def cache_key(spec: RunSpec | dict[str, Any]) -> str:
     """SHA-256 content address of one cell configuration.
 
     Accepts a :class:`RunSpec` or its ``config()`` dict.  The digest
-    covers the canonical config plus ``repro.__version__``, so a
-    version bump invalidates every entry at once.
+    covers the canonical config, ``repro.__version__``, and
+    :data:`NUMERICS_VERSION`, so either a package bump or a declared
+    numerics change invalidates every entry at once.
     """
     config = spec.config() if isinstance(spec, RunSpec) else spec
-    text = canonical_json(config) + "\n" + __version__
+    text = canonical_json(config) + "\n" + __version__ + f"\nnumerics:{NUMERICS_VERSION}"
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 

@@ -9,16 +9,29 @@ This subpackage implements everything Section II-C of the paper needs:
 - the symmetric p-NN similarity matrix **D** of Formula 3
   (:mod:`repro.spatial.similarity`), and
 - the degree matrix **W** (Formula 4) and graph Laplacian **L = W - D**
-  (:mod:`repro.spatial.laplacian`).
+  (:mod:`repro.spatial.laplacian`), and
+- a content-addressed cache of the whole graph build so sweeps over one
+  dataset pay the ``N^2`` construction once
+  (:mod:`repro.spatial.graph_cache`).
 """
 
 from .distances import euclidean_distances, haversine_distances, pairwise_sq_euclidean
+from .graph_cache import (
+    SpatialGraph,
+    clear_graph_cache,
+    graph_cache_info,
+    spatial_graph,
+)
 from .kdtree import KDTree
 from .neighbors import knn_indices
 from .laplacian import degree_matrix, graph_laplacian, laplacian_from_points
 from .similarity import knn_similarity_matrix, prepare_spatial_coordinates
 
 __all__ = [
+    "SpatialGraph",
+    "clear_graph_cache",
+    "graph_cache_info",
+    "spatial_graph",
     "euclidean_distances",
     "haversine_distances",
     "pairwise_sq_euclidean",

@@ -17,14 +17,26 @@ __all__ = [
     "pairwise_sq_euclidean",
     "euclidean_distances",
     "haversine_distances",
+    "DISTANCE_CHUNK_ROWS",
     "EARTH_RADIUS_KM",
 ]
 
 EARTH_RADIUS_KM = 6371.0088
 """Mean Earth radius in kilometres, used by :func:`haversine_distances`."""
 
+DISTANCE_CHUNK_ROWS = 1024
+"""Default row-block size of the chunked distance path: bounds scratch
+memory at ``chunk x m`` instead of ``n x m`` while each block stays
+large enough to keep the gemm BLAS-dominated."""
 
-def pairwise_sq_euclidean(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+
+def pairwise_sq_euclidean(
+    a: np.ndarray,
+    b: np.ndarray | None = None,
+    *,
+    out: np.ndarray | None = None,
+    chunk_rows: int | None = None,
+) -> np.ndarray:
     """Squared Euclidean distances between the rows of ``a`` and ``b``.
 
     Uses the expansion ``|x - y|^2 = |x|^2 + |y|^2 - 2 x.y`` which costs
@@ -37,10 +49,20 @@ def pairwise_sq_euclidean(a: np.ndarray, b: np.ndarray | None = None) -> np.ndar
         ``(n, d)`` array of points.
     b:
         ``(m, d)`` array of points; defaults to ``a`` (self-distances).
+    out:
+        Optional preallocated ``(n, m)`` result buffer — callers that
+        evaluate many distance blocks (the chunked p-NN search, sweep
+        runners) reuse one buffer instead of allocating per call.
+    chunk_rows:
+        Evaluate the result ``chunk_rows`` rows at a time, bounding the
+        gemm scratch at ``chunk_rows x m``.  ``out`` alone (no
+        chunking) is bit-identical to the plain call; row-chunking is
+        numerically equivalent but can differ from the one-shot gemm in
+        the last ulp (BLAS blocks the product differently per shape).
 
     Returns
     -------
-    ``(n, m)`` array of squared distances.
+    ``(n, m)`` array of squared distances (``out`` when provided).
     """
     a = as_matrix(a, name="a")
     b = a if b is None else as_matrix(b, name="b")
@@ -48,11 +70,39 @@ def pairwise_sq_euclidean(a: np.ndarray, b: np.ndarray | None = None) -> np.ndar
         raise ValidationError(
             f"dimension mismatch: a has {a.shape[1]} columns, b has {b.shape[1]}"
         )
+    n, m = a.shape[0], b.shape[0]
+    if out is None and chunk_rows is None:
+        a_sq = np.einsum("ij,ij->i", a, a)
+        b_sq = np.einsum("ij,ij->i", b, b)
+        d2 = a_sq[:, None] + b_sq[None, :] - 2.0 * (a @ b.T)
+        np.maximum(d2, 0.0, out=d2)
+        return d2
+    if out is None:
+        out = np.empty((n, m), dtype=np.float64)
+    elif out.shape != (n, m):
+        raise ValidationError(
+            f"out has shape {out.shape}, expected {(n, m)}"
+        )
+    if chunk_rows is not None and chunk_rows < 1:
+        raise ValidationError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    step = n if chunk_rows is None else min(chunk_rows, n)
     a_sq = np.einsum("ij,ij->i", a, a)
     b_sq = np.einsum("ij,ij->i", b, b)
-    d2 = a_sq[:, None] + b_sq[None, :] - 2.0 * (a @ b.T)
-    np.maximum(d2, 0.0, out=d2)
-    return d2
+    gram = np.empty((step, m), dtype=np.float64)
+    bt = b.T
+    for start in range(0, n, step):
+        stop = min(start + step, n)
+        rows = stop - start
+        block = out[start:stop]
+        # Same elementwise order as the one-shot path:
+        # (|x|^2 + |y|^2) - 2 (x.y), with the gemm row-blocked.
+        np.add(a_sq[start:stop, None], b_sq[None, :], out=block)
+        g = gram[:rows]
+        np.matmul(a[start:stop], bt, out=g)
+        g *= 2.0
+        block -= g
+        np.maximum(block, 0.0, out=block)
+    return out
 
 
 def euclidean_distances(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:

@@ -1,0 +1,153 @@
+"""Content-addressed cache of the spatial similarity/Laplacian build.
+
+The ``N²`` p-NN graph build (Proposition 1's ``N²·L`` term) is a pure
+function of the spatial coordinates, the observation mask over them,
+``p``, and the neighbour-search options — yet every model fit used to
+rebuild it from scratch.  A λ or missing-rate sweep over one dataset
+(Figures 6-8) therefore paid the same ``N²`` build once per cell.
+
+This module keeps a small process-local LRU keyed by the SHA-256 of
+the exact build inputs (raw coordinate bytes, mask bytes, parameters) —
+the same content-addressing discipline as the runner's result cache,
+so a hit is *guaranteed* to be the identical matrices.  Entries are
+returned read-only and shared between fits; :class:`repro.core.smf.SMF`
+pulls from here, which makes the reuse automatic for every runner cell,
+λ value, seed, and SMF/SMFL variant that shares a dataset and ``p``.
+
+Hits and misses are counted on the ambient metrics registry
+(``spatial_graph_cache.hits`` / ``.misses``, see :mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs.metrics import get_metrics
+from .laplacian import laplacian_from_points
+
+__all__ = ["SpatialGraph", "spatial_graph", "clear_graph_cache", "graph_cache_info"]
+
+_MAX_ENTRIES = 16
+"""LRU capacity: sweeps touch a handful of (dataset, p) combinations."""
+
+_LOCK = threading.Lock()
+_CACHE: "OrderedDict[str, SpatialGraph]" = OrderedDict()
+
+
+@dataclass(frozen=True)
+class SpatialGraph:
+    """One cached graph build; all arrays are read-only and shared.
+
+    ``degree`` is the degree *vector* (the diagonal of the paper's
+    Formula 4 matrix **W**).  ``similarity_op``/``laplacian_op`` are
+    scipy CSR views when scipy is importable (the ``O(p N K)``
+    per-iteration operators), else the dense arrays.
+    """
+
+    similarity: np.ndarray
+    degree: np.ndarray
+    laplacian: np.ndarray
+    similarity_op: object
+    laplacian_op: object
+
+
+def _graph_key(
+    spatial: np.ndarray,
+    p: int,
+    observed: np.ndarray | None,
+    method: str,
+    missing_strategy: str,
+) -> str:
+    h = hashlib.sha256()
+    h.update(repr((spatial.shape, str(spatial.dtype), int(p), method,
+                   missing_strategy)).encode())
+    h.update(spatial.tobytes())
+    if observed is None:
+        h.update(b"|mask:none")
+    else:
+        h.update(b"|mask:")
+        h.update(np.packbits(observed).tobytes())
+    return h.hexdigest()
+
+
+def _build(
+    spatial: np.ndarray,
+    p: int,
+    observed: np.ndarray | None,
+    method: str,
+    missing_strategy: str,
+) -> SpatialGraph:
+    similarity, degree, laplacian = laplacian_from_points(
+        spatial, p, observed=observed, method=method,
+        missing_strategy=missing_strategy,
+    )
+    degree_vec = np.diag(degree).copy()
+    try:
+        from scipy import sparse
+
+        similarity_op: object = sparse.csr_matrix(similarity)
+        laplacian_op: object = sparse.csr_matrix(laplacian)
+    except ImportError:  # pragma: no cover - scipy is a soft dependency
+        similarity_op = similarity
+        laplacian_op = laplacian
+    for arr in (similarity, degree_vec, laplacian):
+        arr.setflags(write=False)
+    return SpatialGraph(
+        similarity=similarity,
+        degree=degree_vec,
+        laplacian=laplacian,
+        similarity_op=similarity_op,
+        laplacian_op=laplacian_op,
+    )
+
+
+def spatial_graph(
+    spatial: np.ndarray,
+    p: int,
+    *,
+    observed: np.ndarray | None = None,
+    method: str = "auto",
+    missing_strategy: str = "masked",
+) -> SpatialGraph:
+    """The ``(D, W, L)`` build for these exact inputs, cached.
+
+    Same contract as
+    :func:`repro.spatial.laplacian.laplacian_from_points` (which does
+    the building on a miss), with the degree returned as a vector.
+    """
+    spatial = np.asarray(spatial, dtype=np.float64)
+    key = _graph_key(spatial, p, observed, method, missing_strategy)
+    with _LOCK:
+        hit = _CACHE.get(key)
+        if hit is not None:
+            _CACHE.move_to_end(key)
+            get_metrics().counter("spatial_graph_cache.hits").inc()
+            return hit
+    # Build outside the lock: graph construction is the expensive part,
+    # and a rare duplicate build is cheaper than serializing all fits.
+    built = _build(spatial, p, observed, method, missing_strategy)
+    with _LOCK:
+        get_metrics().counter("spatial_graph_cache.misses").inc()
+        _CACHE[key] = built
+        _CACHE.move_to_end(key)
+        while len(_CACHE) > _MAX_ENTRIES:
+            _CACHE.popitem(last=False)
+    return built
+
+
+def clear_graph_cache() -> None:
+    """Drop every cached graph (tests; memory pressure)."""
+    with _LOCK:
+        _CACHE.clear()
+
+
+def graph_cache_info() -> dict[str, int]:
+    """Current size and capacity (the hit/miss counts live on the
+    metrics registry)."""
+    with _LOCK:
+        return {"entries": len(_CACHE), "capacity": _MAX_ENTRIES}

@@ -13,7 +13,7 @@ import numpy as np
 
 from ..exceptions import DegenerateDataError
 from ..validation import as_matrix, check_positive_int
-from .distances import pairwise_sq_euclidean
+from .distances import DISTANCE_CHUNK_ROWS, pairwise_sq_euclidean
 from .kdtree import KDTree
 
 __all__ = ["knn_indices"]
@@ -62,12 +62,30 @@ def knn_indices(
 
 
 def _knn_brute(points: np.ndarray, p: int) -> np.ndarray:
-    d2 = pairwise_sq_euclidean(points)
-    np.fill_diagonal(d2, np.inf)
-    # argsort (stable) rather than argpartition so ties break by index,
-    # keeping the neighbour graph deterministic across runs.
-    order = np.argsort(d2, axis=1, kind="stable")
-    return order[:, :p].astype(np.int64)
+    n = points.shape[0]
+    if n <= DISTANCE_CHUNK_ROWS:
+        d2 = pairwise_sq_euclidean(points)
+        np.fill_diagonal(d2, np.inf)
+        # argsort (stable) rather than argpartition so ties break by
+        # index, keeping the neighbour graph deterministic across runs.
+        order = np.argsort(d2, axis=1, kind="stable")
+        return order[:, :p].astype(np.int64)
+    # Chunked path for large n: peak memory drops from n^2 to chunk x n
+    # with one reused distance block.  Each row sorts independently, so
+    # the neighbour lists match the one-shot path except on distance
+    # ties closer than the gemm's last-ulp blocking difference.
+    out = np.empty((n, p), dtype=np.int64)
+    scratch = np.empty((DISTANCE_CHUNK_ROWS, n), dtype=np.float64)
+    for start in range(0, n, DISTANCE_CHUNK_ROWS):
+        stop = min(start + DISTANCE_CHUNK_ROWS, n)
+        rows = stop - start
+        block = pairwise_sq_euclidean(
+            points[start:stop], points, out=scratch[:rows]
+        )
+        block[np.arange(rows), np.arange(start, stop)] = np.inf
+        order = np.argsort(block, axis=1, kind="stable")
+        out[start:stop] = order[:, :p]
+    return out
 
 
 def _knn_kdtree(points: np.ndarray, p: int) -> np.ndarray:

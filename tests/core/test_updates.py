@@ -125,3 +125,56 @@ class TestGradientUpdates:
             x_observed, observed, u, v, learning_rate=1e-2, frozen_v=frozen
         )
         assert np.array_equal(v_next[:, 0], v[:, 0])
+
+
+class TestGuardedDivide:
+    """The shared division policy every update rule goes through."""
+
+    def test_matches_reference_expression_bitwise(self, rng):
+        from repro.core.updates import EPSILON, guarded_divide
+
+        num = rng.random((6, 4))
+        den = rng.random((6, 4))
+        assert np.array_equal(guarded_divide(num, den), num / (den + EPSILON))
+
+    def test_out_buffer_matches_allocating_form(self, rng):
+        from repro.core.updates import guarded_divide
+
+        num = rng.random((6, 4))
+        den = rng.random((6, 4))
+        expected = guarded_divide(num, den)
+        out = np.empty_like(num)
+        result = guarded_divide(num, den, out=out)
+        assert result is out
+        assert np.array_equal(out, expected)
+
+    def test_out_may_alias_numerator(self, rng):
+        from repro.core.updates import guarded_divide
+
+        num = rng.random((6, 4))
+        den = rng.random((6, 4))
+        expected = guarded_divide(num, den)
+        scratch = num.copy()
+        guarded_divide(scratch, den, out=scratch)
+        assert np.array_equal(scratch, expected)
+
+    def test_denominator_scratch_floors_in_place(self, rng):
+        from repro.core.updates import EPSILON, guarded_divide
+
+        num = rng.random((6, 4))
+        den = rng.random((6, 4))
+        expected = guarded_divide(num, den)
+        scratch = den.copy()
+        out = np.empty_like(num)
+        guarded_divide(num, scratch, out=out, denominator_is_scratch=True)
+        assert np.array_equal(out, expected)
+        assert np.array_equal(scratch, den + EPSILON)
+
+    def test_zero_denominator_never_raises(self):
+        from repro.core.updates import guarded_divide
+
+        num = np.ones((2, 2))
+        den = np.zeros((2, 2))
+        with np.errstate(divide="raise", invalid="raise"):
+            out = guarded_divide(num, den)
+        assert np.isfinite(out).all()

@@ -16,6 +16,8 @@ import pytest
 from repro.core import MaskedNMF
 from repro.engine.timing import (
     engine_benchmark,
+    kernel_benchmark,
+    record_kernel_baseline,
     record_runner_baseline,
     record_stochastic_baseline,
     runner_benchmark,
@@ -103,6 +105,38 @@ class TestRunnerBenchmark:
         recorded = record_runner_baseline(path=str(path), **self.TINY_RUNNER)
         on_disk = json.loads(path.read_text())
         assert on_disk["experiment"] == "table4"
+        assert on_disk["acceptance"] == recorded["acceptance"]
+        assert "python" in on_disk and "machine" in on_disk
+
+
+TINY_KERNEL = dict(
+    n_rows=60, n_cols=20, rank=3, missing_rates=(0.3, 0.8),
+    max_iter=5, repeats=1, warmup_iter=1, smoke=True,
+)
+
+
+class TestKernelBenchmark:
+    def test_schema_and_bit_identity_flag(self):
+        out = kernel_benchmark(**TINY_KERNEL)
+        assert set(out["rates"]) == {"0.3", "0.8"}
+        for entry in out["rates"].values():
+            assert entry["reference"]["iteration_seconds"] > 0
+            assert entry["workspace"]["bit_identical"] is True
+            assert entry["sparse"]["max_factor_deviation"] <= 1e-8
+            assert entry["workspace"]["speedup"] > 0
+            assert entry["sparse"]["speedup"] > 0
+        # Bit-identity and numerical equivalence are deterministic
+        # contracts — they must hold even on tiny, timing-noisy shapes.
+        assert out["acceptance"]["workspace_bit_identical"] is True
+        assert out["acceptance"]["sparse_factor_deviation_le_1e-8"] is True
+        assert "smf_vs_smfl" in out
+        assert set(out["smf_vs_smfl"]["rows"]) == {"150"}
+
+    def test_record_writes_json(self, tmp_path):
+        path = tmp_path / "BENCH_kernels.json"
+        recorded = record_kernel_baseline(path=str(path), **TINY_KERNEL)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["smoke"] is True
         assert on_disk["acceptance"] == recorded["acceptance"]
         assert "python" in on_disk and "machine" in on_disk
 

@@ -1,0 +1,261 @@
+"""Unit tests for repro.engine.workspace (the allocation-free kernels).
+
+The per-iteration *equivalence* of the workspace paths against the
+reference rules lives in ``test_kernel_equivalence.py`` (hypothesis
+driven) and the steady-state allocation contract in
+``test_allocations.py``; this module covers the structural pieces:
+path resolution, the buffer arena, the Gram cache, the sparse index
+structure, and the masked objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.workspace import (
+    KERNEL_PATHS,
+    SPARSE_DENSITY_THRESHOLD,
+    BufferArena,
+    GramCache,
+    KernelWorkspace,
+    build_kernel_workspace,
+    resolve_kernel_path,
+)
+from repro.core.objective import masked_frobenius_sq
+from repro.exceptions import ValidationError
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+
+
+def _problem(rng, n=30, m=12, k=4, rate=0.3, prefix=0):
+    x = rng.random((n, m)) * 3
+    observed = rng.random((n, m)) > rate
+    if prefix:
+        observed[:, :prefix] = True
+    x_observed = np.where(observed, x, 0.0)
+    u = rng.random((n, k))
+    v = rng.random((k, m))
+    return x_observed, observed, u, v
+
+
+class TestResolveKernelPath:
+    def test_unknown_path_rejected(self, rng):
+        _, observed, _, _ = _problem(rng)
+        with pytest.raises(ValidationError, match="kernel_path"):
+            resolve_kernel_path(
+                "turbo", update_rule="multiplicative", observed=observed
+            )
+
+    def test_reference_passthrough(self, rng):
+        _, observed, _, _ = _problem(rng)
+        out = resolve_kernel_path(
+            "reference", update_rule="multiplicative", observed=observed
+        )
+        assert out == "reference"
+
+    def test_stochastic_rules_fall_back_to_reference(self, rng):
+        _, observed, _, _ = _problem(rng)
+        for rule in ("sgd", "svrg"):
+            assert (
+                resolve_kernel_path("auto", update_rule=rule, observed=observed)
+                == "reference"
+            )
+
+    def test_sparse_requires_multiplicative(self, rng):
+        _, observed, _, _ = _problem(rng)
+        with pytest.raises(ValidationError, match="multiplicative"):
+            resolve_kernel_path("sparse", update_rule="gradient", observed=observed)
+
+    def test_auto_picks_sparse_below_density_threshold(self, rng):
+        observed = rng.random((40, 20)) > (1 - SPARSE_DENSITY_THRESHOLD / 2)
+        assert (
+            resolve_kernel_path(
+                "auto", update_rule="multiplicative", observed=observed
+            )
+            == "sparse"
+        )
+
+    def test_auto_stays_dense_at_golden_density(self, rng):
+        # Missing rate 0.1 (the golden configurations) => density 0.9.
+        observed = rng.random((40, 20)) > 0.1
+        assert (
+            resolve_kernel_path(
+                "auto", update_rule="multiplicative", observed=observed
+            )
+            == "workspace"
+        )
+
+    def test_gradient_auto_resolves_to_workspace(self, rng):
+        observed = rng.random((40, 20)) > 0.8  # sparse density, but gradient
+        assert (
+            resolve_kernel_path("auto", update_rule="gradient", observed=observed)
+            == "workspace"
+        )
+
+    def test_all_legal_paths_resolve(self, rng):
+        _, observed, _, _ = _problem(rng)
+        for path in KERNEL_PATHS:
+            out = resolve_kernel_path(
+                path, update_rule="multiplicative", observed=observed
+            )
+            assert out in ("reference", "workspace", "sparse")
+
+
+class TestBufferArena:
+    def test_buf_reused_for_same_key(self):
+        arena = BufferArena()
+        a = arena.buf("x", (3, 4))
+        b = arena.buf("x", (3, 4))
+        assert a is b
+
+    def test_buf_reallocates_on_shape_change(self):
+        arena = BufferArena()
+        a = arena.buf("x", (3, 4))
+        b = arena.buf("x", (5, 4))
+        assert a is not b and b.shape == (5, 4)
+
+    def test_out_for_never_aliases_current(self):
+        arena = BufferArena()
+        u = np.zeros((4, 2))
+        first = arena.out_for("u", u)
+        assert first is not u
+        # Ping-pong: asking against the previous output returns the
+        # other slot, and the set of slots stabilises at two arrays.
+        second = arena.out_for("u", first)
+        assert second is not first
+        third = arena.out_for("u", second)
+        assert third is first
+
+
+class TestGramCache:
+    def test_matches_direct_products(self, rng):
+        x_observed, observed, u, v = _problem(rng, prefix=3)
+        cache = GramCache(x_observed, v, 3)
+        v_land = v[:, :3]
+        assert np.allclose(cache.gram_vl, v_land @ v_land.T)
+        assert np.allclose(cache.xl_vlt, x_observed[:, :3] @ v_land.T)
+
+    def test_buffers_are_read_only(self, rng):
+        x_observed, _, _, v = _problem(rng, prefix=2)
+        cache = GramCache(x_observed, v, 2)
+        with pytest.raises(ValueError):
+            cache.gram_vl[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            cache.xl_vlt[0, 0] = 1.0
+
+
+class TestSparseObserved:
+    def test_index_arrays_match_mask(self, rng):
+        x_observed, observed, u, v = _problem(rng, rate=0.7)
+        ws = KernelWorkspace(x_observed, observed, mode="sparse")
+        sp = ws.sparse
+        rows, cols = np.nonzero(observed)
+        assert np.array_equal(sp.rows, rows)
+        assert np.array_equal(sp.cols, cols)
+        assert np.array_equal(sp.vals, x_observed[rows, cols])
+        assert sp.nnz == int(observed.sum())
+
+    def test_csr_matrices_share_structure(self, rng):
+        x_observed, observed, _, _ = _problem(rng, rate=0.7)
+        ws = KernelWorkspace(x_observed, observed, mode="sparse")
+        sp = ws.sparse
+        # scipy may rewrap (and downcast) the index arrays, but the
+        # sparsity pattern is one structure and — critically — the
+        # recon matrix must see in-place writes to ``recon_data``.
+        assert np.array_equal(sp.recon_csr.indices, sp.x_csr.indices)
+        assert np.array_equal(sp.recon_csr.indptr, sp.x_csr.indptr)
+        assert np.shares_memory(sp.recon_csr.data, sp.recon_data)
+        assert np.shares_memory(sp.x_csr.data, sp.vals)
+        sp.recon_data[:] = 7.0
+        assert (sp.recon_csr.data == 7.0).all()
+        assert np.allclose(sp.x_csr.toarray(), x_observed)
+
+    def test_flat_indices_address_live_block(self, rng):
+        x_observed, observed, u, v = _problem(rng, rate=0.7, prefix=2)
+        ws = KernelWorkspace(
+            x_observed, observed, mode="sparse", frozen_prefix=2, v0=v
+        )
+        sp = ws.sparse
+        assert sp.offset == 2
+        dense = u @ v[:, 2:]
+        taken = dense.reshape(-1)[sp.flat]
+        gathered = (u[sp.rows] * v[:, 2:].T[sp.cols]).sum(axis=1)
+        assert np.allclose(taken, gathered)
+
+    def test_gram_skipped_when_landmark_columns_not_fully_observed(self, rng):
+        x_observed, observed, u, v = _problem(rng, rate=0.7, prefix=0)
+        observed[:, :2] = rng.random((observed.shape[0], 2)) > 0.5
+        ws = KernelWorkspace(
+            x_observed, observed, mode="sparse", frozen_prefix=2, v0=v
+        )
+        assert ws.gram is None
+        assert ws.sparse.offset == 0
+
+    def test_unknown_mode_rejected(self, rng):
+        x_observed, observed, _, _ = _problem(rng)
+        with pytest.raises(ValidationError, match="mode"):
+            KernelWorkspace(x_observed, observed, mode="quantum")
+
+
+class TestMaskedObjective:
+    def test_dense_bit_identical_to_reference(self, rng):
+        x_observed, observed, u, v = _problem(rng)
+        ws = KernelWorkspace(x_observed, observed)
+        expected = masked_frobenius_sq(x_observed, u, v, observed)
+        assert ws.masked_objective(x_observed, u, v) == expected
+
+    def test_dense_objective_memo_survives_repeat_calls(self, rng):
+        x_observed, observed, u, v = _problem(rng)
+        ws = KernelWorkspace(x_observed, observed)
+        first = ws.masked_objective(x_observed, u, v)
+        # Second call hits the recon memo; must return the same value.
+        assert ws.masked_objective(x_observed, u, v) == first
+
+    def test_sparse_close_to_reference(self, rng):
+        x_observed, observed, u, v = _problem(rng, rate=0.8)
+        ws = KernelWorkspace(x_observed, observed, mode="sparse")
+        expected = masked_frobenius_sq(x_observed, u, v, observed)
+        assert ws.masked_objective(x_observed, u, v) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_sparse_with_landmark_slab(self, rng):
+        x_observed, observed, u, v = _problem(rng, rate=0.8, prefix=2)
+        ws = KernelWorkspace(
+            x_observed, observed, mode="sparse", frozen_prefix=2, v0=v
+        )
+        assert ws.gram is not None
+        expected = masked_frobenius_sq(x_observed, u, v, observed)
+        assert ws.masked_objective(x_observed, u, v) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+
+class TestBuildKernelWorkspace:
+    def test_reference_returns_none(self, rng):
+        x_observed, observed, _, _ = _problem(rng)
+        assert (
+            build_kernel_workspace(
+                x_observed, observed,
+                kernel_path="reference", update_rule="multiplicative",
+            )
+            is None
+        )
+
+    def test_workspace_mode_dense(self, rng):
+        x_observed, observed, _, _ = _problem(rng)
+        ws = build_kernel_workspace(
+            x_observed, observed,
+            kernel_path="workspace", update_rule="multiplicative",
+        )
+        assert isinstance(ws, KernelWorkspace) and ws.mode == "dense"
+
+    def test_sparse_mode_with_prefix(self, rng):
+        x_observed, observed, u, v = _problem(rng, rate=0.8, prefix=2)
+        ws = build_kernel_workspace(
+            x_observed, observed,
+            kernel_path="sparse", update_rule="multiplicative",
+            frozen_prefix=2, v0=v,
+        )
+        assert ws.mode == "sparse" and ws.gram is not None

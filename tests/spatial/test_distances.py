@@ -77,3 +77,73 @@ class TestHaversineDistances:
         coords = rng.uniform(-80, 80, size=(6, 2))
         out = haversine_distances(coords)
         assert np.allclose(out, out.T, atol=1e-9)
+
+
+class TestOutAndChunkedPaths:
+    def test_out_only_is_bit_identical_to_plain(self, rng):
+        a = rng.random((40, 3))
+        b = rng.random((17, 3))
+        plain = pairwise_sq_euclidean(a, b)
+        out = np.empty((40, 17))
+        result = pairwise_sq_euclidean(a, b, out=out)
+        assert result is out
+        assert np.array_equal(out, plain)
+
+    def test_out_buffer_reusable_across_calls(self, rng):
+        a = rng.random((10, 2))
+        b = rng.random((8, 2))
+        out = np.empty((10, 8))
+        first = pairwise_sq_euclidean(a, b, out=out).copy()
+        pairwise_sq_euclidean(a + 1.0, b, out=out)
+        assert not np.array_equal(out, first)
+        assert np.array_equal(
+            out, pairwise_sq_euclidean(a + 1.0, b)
+        )
+
+    def test_chunked_numerically_equivalent(self, rng):
+        # Row-blocking changes the gemm's internal blocking, so the
+        # contract is tight closeness, not bit-identity.
+        a = rng.random((50, 2))
+        plain = pairwise_sq_euclidean(a)
+        chunked = pairwise_sq_euclidean(a, chunk_rows=16)
+        assert np.allclose(chunked, plain, rtol=0.0, atol=1e-12)
+
+    def test_chunk_not_dividing_n_covers_all_rows(self, rng):
+        a = rng.random((23, 3))
+        b = rng.random((9, 3))
+        chunked = pairwise_sq_euclidean(a, b, chunk_rows=7)
+        assert np.allclose(chunked, pairwise_sq_euclidean(a, b), atol=1e-12)
+
+    def test_out_shape_validated(self, rng):
+        a = rng.random((5, 2))
+        with pytest.raises(ValidationError, match="shape"):
+            pairwise_sq_euclidean(a, out=np.empty((4, 5)))
+
+    def test_chunk_rows_validated(self, rng):
+        a = rng.random((5, 2))
+        with pytest.raises(ValidationError, match="chunk_rows"):
+            pairwise_sq_euclidean(a, chunk_rows=0)
+
+
+class TestChunkedKnnBrute:
+    def test_one_shot_matches_naive(self, rng):
+        from repro.spatial.neighbors import _knn_brute
+
+        pts = rng.random((60, 2))
+        out = _knn_brute(pts, 5)
+        d2 = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+        np.fill_diagonal(d2, np.inf)
+        expected = np.argsort(d2, axis=1, kind="stable")[:, :5]
+        assert np.array_equal(out, expected)
+
+    def test_chunked_matches_one_shot_neighbour_lists(self, rng, monkeypatch):
+        import repro.spatial.neighbors as neighbors
+
+        pts = rng.random((90, 2))
+        one_shot = neighbors._knn_brute(pts, 5)
+        # Shrink the chunk threshold so the same points take the
+        # row-blocked path (random coordinates have no distance ties,
+        # so last-ulp gemm differences cannot reorder neighbours).
+        monkeypatch.setattr(neighbors, "DISTANCE_CHUNK_ROWS", 32)
+        chunked = neighbors._knn_brute(pts, 5)
+        assert np.array_equal(chunked, one_shot)
