@@ -40,8 +40,7 @@ from .exceptions import (
     ValidationError,
 )
 from .masking import ObservationMask
-
-__version__ = "1.1.0"
+from .versioning import __version__
 
 __all__ = [
     "SMF",

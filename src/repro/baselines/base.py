@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..exceptions import ValidationError
-from ..masking.mask import ObservationMask, mask_from_missing_values
+from ..exceptions import NotFittedError, ValidationError
+from ..masking.mask import ObservationMask
+from ..model.fitted import FittedModel, coerce_observations
 from ..obs.trace import traced
 from ..validation import as_matrix
 
@@ -55,11 +56,22 @@ class Imputer:
     #: for iterative methods; stays ``None`` for one-shot imputers.
     fit_report_ = None
 
+    #: Extracted fitted state of the last :meth:`fit_impute`
+    #: (:class:`repro.model.FittedModel`, estimate flavour) - the
+    #: persistable artifact seam shared with the MF solvers.
+    fitted_model_: FittedModel | None = None
+
     @traced("fit_impute")
     def fit_impute(self, x: np.ndarray, mask: object = None) -> np.ndarray:
         """Impute ``x``; NaN cells are unobserved when ``mask`` is omitted."""
         x, observation = self._coerce(x, mask)
         if observation.n_unobserved == 0:
+            self.fitted_model_ = FittedModel.from_estimate(
+                method=self.name,
+                estimate=x,
+                x_observed=x,
+                observed=observation.observed,
+            )
             return x
         estimate = self._impute_missing(observation.project(x), observation)
         estimate = as_matrix(estimate, name=f"{self.name} output")
@@ -67,7 +79,21 @@ class Imputer:
             raise ValidationError(
                 f"{self.name} returned shape {estimate.shape}, expected {x.shape}"
             )
+        self.fitted_model_ = FittedModel.from_estimate(
+            method=self.name,
+            estimate=estimate,
+            x_observed=observation.project(x),
+            observed=observation.observed,
+        )
         return observation.merge(x, estimate)
+
+    def fitted_model(self) -> FittedModel:
+        """The extracted fitted state of the last :meth:`fit_impute`."""
+        if self.fitted_model_ is None:
+            raise NotFittedError(
+                f"{type(self).__name__}.fitted_model called before fit_impute"
+            )
+        return self.fitted_model_
 
     def _impute_missing(
         self, x_observed: np.ndarray, mask: ObservationMask
@@ -77,17 +103,5 @@ class Imputer:
 
     @staticmethod
     def _coerce(x: np.ndarray, mask: object) -> tuple[np.ndarray, ObservationMask]:
-        if mask is None:
-            return mask_from_missing_values(x)
-        x = as_matrix(x, name="x", allow_nan=True, copy=True)
-        observation = mask if isinstance(mask, ObservationMask) else ObservationMask(
-            np.asarray(mask)
-        )
-        if observation.shape != x.shape:
-            raise ValidationError(
-                f"mask shape {observation.shape} does not match X shape {x.shape}"
-            )
-        x[~observation.observed] = 0.0
-        if np.isnan(x).any():
-            raise ValidationError("X has NaN entries at observed cells")
-        return x, observation
+        # Same input seam as the MF solvers (repro.model).
+        return coerce_observations(x, mask)

@@ -40,10 +40,15 @@ from ..engine.workspace import (
     build_kernel_workspace,
 )
 from ..exceptions import NotFittedError, ValidationError
-from ..masking.mask import ObservationMask, mask_from_missing_values
+from ..masking.mask import ObservationMask
+from ..model.fitted import (
+    FittedModel,
+    coerce_observations,
+    impute_matrix,
+    observed_column_bounds,
+)
 from ..obs.trace import get_tracer, traced
 from ..validation import (
-    as_matrix,
     check_in_range,
     check_nonnegative,
     check_positive_int,
@@ -64,11 +69,7 @@ def _clip_columns_to_observed(
     """Clip each column of ``estimate`` to the [min, max] of the observed
     entries of the same column of ``x``; columns without observed
     entries pass through unchanged."""
-    has_observed = observed.any(axis=0)
-    lows = np.where(observed, x, np.inf).min(axis=0)
-    highs = np.where(observed, x, -np.inf).max(axis=0)
-    lows = np.where(has_observed, lows, -np.inf)
-    highs = np.where(has_observed, highs, np.inf)
+    lows, highs = observed_column_bounds(x, observed)
     return np.clip(estimate, lows[None, :], highs[None, :])
 
 
@@ -240,6 +241,7 @@ class MatrixFactorizationBase:
 
         self.u_: np.ndarray | None = None
         self.v_: np.ndarray | None = None
+        self.fitted_model_: FittedModel | None = None
         self.n_iter_: int = 0
         self.converged_: bool = False
         self.objective_history_: list[float] = []
@@ -274,6 +276,14 @@ class MatrixFactorizationBase:
 
         The base family freezes nothing; SMFL overrides this with the
         landmark block Phi.
+        """
+        return None
+
+    def _landmark_values(self) -> np.ndarray | None:
+        """Landmark metadata hook for the extracted :class:`FittedModel`.
+
+        The base family has none; SMFL overrides this with the frozen
+        ``(K, L)`` block so artifacts stay self-describing.
         """
         return None
 
@@ -441,6 +451,20 @@ class MatrixFactorizationBase:
         )
         self._fit_x = x
         self._fit_mask = observation
+        # Extract the fitted state into the model layer: everything
+        # imputation and serving need, decoupled from this solver.
+        self.fitted_model_ = FittedModel.from_factors(
+            method=self.method,
+            u=self.u_,
+            v=self.v_,
+            x_observed=x_observed,
+            observed=observed,
+            update_rule=self.update_rule,
+            kernel_path=self.kernel_path,
+            n_spatial=int(getattr(self, "n_spatial", 0)),
+            landmark_values=self._landmark_values(),
+            clip_to_observed=self.clip_to_observed,
+        )
         return self
 
     def reconstruct(self) -> np.ndarray:
@@ -453,16 +477,26 @@ class MatrixFactorizationBase:
         """Formula 8: observed values kept, unobserved filled from ``U V``.
 
         With ``clip_to_observed`` (default) each column's filled values
-        are clipped to the range of its observed entries.
+        are clipped to the range of its observed entries.  Delegates to
+        the pure :func:`repro.model.impute_matrix` over the extracted
+        :class:`~repro.model.FittedModel` (bit-identical to the legacy
+        in-place implementation).
         """
-        if self._fit_x is None or self._fit_mask is None:
+        if self._fit_x is None or self._fit_mask is None or self.fitted_model_ is None:
             raise NotFittedError(f"{type(self).__name__}.impute called before fit")
-        reconstruction = self.reconstruct()
-        if self.clip_to_observed:
-            reconstruction = _clip_columns_to_observed(
-                reconstruction, self._fit_x, self._fit_mask.observed
+        return impute_matrix(self.fitted_model_, self._fit_x, self._fit_mask)
+
+    def fitted_model(self) -> FittedModel:
+        """The extracted fitted state (factors, landmarks, clip bounds).
+
+        This is the object to persist (``.save(path)``) and to serve
+        fold-in requests from (:mod:`repro.serving`).
+        """
+        if self.fitted_model_ is None:
+            raise NotFittedError(
+                f"{type(self).__name__}.fitted_model called before fit"
             )
-        return self._fit_mask.merge(self._fit_x, reconstruction)
+        return self.fitted_model_
 
     @traced("fit_impute")
     def fit_impute(self, x: np.ndarray, mask: object = None) -> np.ndarray:
@@ -480,20 +514,6 @@ class MatrixFactorizationBase:
 
     @staticmethod
     def _coerce_input(x: np.ndarray, mask: object) -> tuple[np.ndarray, ObservationMask]:
-        if mask is None:
-            return mask_from_missing_values(x)
-        x = as_matrix(x, name="x", allow_nan=True, copy=True)
-        if isinstance(mask, ObservationMask):
-            observation = mask
-        else:
-            observation = ObservationMask(np.asarray(mask))
-        if observation.shape != x.shape:
-            raise ValidationError(
-                f"mask shape {observation.shape} does not match X shape {x.shape}"
-            )
-        # Zero-fill unobserved cells so NaN placeholders cannot leak into
-        # the update kernels.
-        x[~observation.observed] = 0.0
-        if np.isnan(x).any():
-            raise ValidationError("X has NaN entries at observed cells")
-        return x, observation
+        # One input seam for the whole stack: the solvers, the pure
+        # impute, and serving all normalise through repro.model.
+        return coerce_observations(x, mask)

@@ -177,3 +177,9 @@ class SMFL(SMF):
             assert self.landmarks_ is not None
             self._frozen_mask_cache = self.landmarks_.frozen_mask(v_shape)
         return self._frozen_mask_cache
+
+    def _landmark_values(self) -> np.ndarray | None:
+        # The frozen (K, L) block travels with the extracted FittedModel
+        # so artifacts (and fold-in servers) know which V columns are
+        # landmarks without ever touching this solver.
+        return None if self.landmarks_ is None else self.landmarks_.values

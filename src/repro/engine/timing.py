@@ -35,7 +35,13 @@ This module provides:
   equivalence acceptance flags and a Figure 9-style SMF-vs-SMFL
   section, persisted as ``BENCH_kernels.json`` (smoke mode runs tiny
   shapes for CI; ``--check`` turns failed acceptance into a nonzero
-  exit).
+  exit);
+- :func:`serving_benchmark` / :func:`record_serving_baseline` - the
+  :mod:`repro.serving` fold-in path: held-out-row accuracy versus a
+  full refit, batched-solve speedup over a per-row loop, and the
+  fold-in server's throughput and p50/p99 request latency, persisted
+  as ``BENCH_serving.json`` (``--smoke`` and ``--check`` apply here
+  too).
 
 All timing in this module runs on the obs span clock
 (:meth:`Tracer.span <repro.obs.trace.Tracer.span>` /
@@ -75,6 +81,8 @@ __all__ = [
     "record_obs_baseline",
     "kernel_benchmark",
     "record_kernel_baseline",
+    "serving_benchmark",
+    "record_serving_baseline",
 ]
 
 
@@ -655,6 +663,167 @@ def record_kernel_baseline(
     return results
 
 
+def serving_benchmark(
+    *,
+    dataset: str = "lake",
+    n_rows: int = 360,
+    holdout_rows: int = 60,
+    rank: int = 6,
+    missing_rate: float = 0.1,
+    max_iter: int = 200,
+    batch_size: int = 256,
+    repeats: int = 5,
+    requests: int = 32,
+    seed: int = 0,
+    smoke: bool = False,
+) -> dict[str, Any]:
+    """The :mod:`repro.serving` fold-in path: accuracy, batching, latency.
+
+    Three measurements on the paper's synthetic setup:
+
+    1. **Accuracy** - hold out the last ``holdout_rows`` rows, fit SMFL
+       on the rest, then impute the held-out rows' injected cells two
+       ways: fold-in against the frozen ``V`` (no refit) versus a full
+       refit over all rows.  Recorded as ``rms_ratio`` (fold-in over
+       refit; target <= 1.05 - fold-in trades a refit's ``O(t1 N M K)``
+       for ``O(M K^2)`` per row, and on spatial data the frozen
+       landmark block keeps the embedding anchored).
+    2. **Batching** - fold ``batch_size`` rows in as one batched solve
+       versus a per-row python loop, best-of-``repeats`` on the obs
+       span clock.  Recorded as ``batched_speedup`` (target >= 5x at
+       batch 256: two gemms + one batched factorisation beat
+       ``batch_size`` tiny solves).
+    3. **Serving telemetry** - a :class:`~repro.serving.FoldInServer`
+       handles ``requests`` batch requests against a private metrics
+       registry; throughput (imputations/second) and request-latency
+       p50/p99 come from its quantile histograms.
+
+    ``smoke=True`` trims the timing repeats and the server request
+    count for CI; the accuracy section already costs ~1 s at full
+    scale, so its parameters (and the acceptance thresholds) are
+    identical in both modes.
+    """
+    from ..experiments.protocol import prepare_trial
+    from ..masking.mask import ObservationMask
+    from ..metrics.rms import rms_over_mask
+    from ..serving import FoldInServer, fold_in
+    from .workspace import BufferArena
+
+    if smoke:
+        repeats, requests = min(repeats, 3), min(requests, 8)
+
+    trial = prepare_trial(dataset, missing_rate=missing_rate, seed=seed, n_rows=n_rows)
+    truth = trial.dataset.values
+    observed = trial.mask.observed
+    n_train = n_rows - holdout_rows
+    if n_train <= rank:
+        raise ValueError(
+            f"holdout_rows={holdout_rows} leaves {n_train} training rows "
+            f"for rank {rank}"
+        )
+
+    def _smfl() -> Any:
+        from ..core.smfl import SMFL
+
+        return SMFL(
+            rank=rank, n_spatial=trial.dataset.n_spatial,
+            max_iter=max_iter, random_state=seed,
+        )
+
+    # 1. Accuracy: fold-in vs full refit on the held-out rows.
+    train_mask = ObservationMask(observed[:n_train])
+    held_mask = ObservationMask(observed[n_train:])
+    x_held = trial.x_missing[n_train:]
+    model = _smfl().fit(trial.x_missing[:n_train], train_mask)
+    fitted = model.fitted_model()
+    foldin_imputed = fold_in(fitted, x_held, held_mask).imputed
+    foldin_rms = rms_over_mask(foldin_imputed, truth[n_train:], held_mask)
+
+    refit_imputed = _smfl().fit_impute(trial.x_missing, trial.mask)
+    refit_rms = rms_over_mask(refit_imputed[n_train:], truth[n_train:], held_mask)
+    rms_ratio = foldin_rms / max(refit_rms, 1e-12)
+
+    # 2. Batching: one batched solve vs a per-row python loop over the
+    # same rows (tiled to batch_size, patterns varying per row).
+    tiles = -(-batch_size // holdout_rows)
+    x_batch = np.tile(x_held, (tiles, 1))[:batch_size]
+    observed_batch = np.tile(held_mask.observed, (tiles, 1))[:batch_size]
+    arena = BufferArena()
+
+    def _best_seconds(label: str, run: Any) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            with get_tracer().span(f"serving_bench:{label}") as span:
+                run()
+            best = min(best, span.duration)
+        return best
+
+    def _batched() -> None:
+        fold_in(fitted, x_batch, observed_batch, arena=arena)
+
+    def _row_loop() -> None:
+        for index in range(batch_size):
+            fold_in(fitted, x_batch[index], observed_batch[index])
+
+    _batched()  # warmup: arena allocation, BLAS thread spin-up
+    batched_seconds = _best_seconds("batched", _batched)
+    loop_seconds = _best_seconds("row_loop", _row_loop)
+    batched_speedup = loop_seconds / max(batched_seconds, 1e-12)
+
+    # 3. Server telemetry on a private registry.
+    from ..obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    server = FoldInServer(fitted, batch_size=batch_size, metrics=registry)
+    for _ in range(requests):
+        server.impute_rows(x_batch, observed_batch)
+    stats = server.stats()
+
+    return {
+        "dataset": dataset,
+        "n_rows": n_rows,
+        "holdout_rows": holdout_rows,
+        "rank": rank,
+        "missing_rate": missing_rate,
+        "max_iter": max_iter,
+        "seed": seed,
+        "smoke": smoke,
+        "accuracy": {
+            "foldin_rms": float(foldin_rms),
+            "refit_rms": float(refit_rms),
+            "rms_ratio": float(rms_ratio),
+        },
+        "batching": {
+            "batch_size": batch_size,
+            "repeats": repeats,
+            "batched_seconds": batched_seconds,
+            "row_loop_seconds": loop_seconds,
+            "batched_speedup": float(batched_speedup),
+            "batched_rows_per_second": batch_size / max(batched_seconds, 1e-12),
+        },
+        "serving": {
+            "requests": requests,
+            "rows": stats["rows"],
+            "imputations_per_second": stats["imputations_per_second"],
+            "latency_p50_seconds": stats["latency_p50_seconds"],
+            "latency_p99_seconds": stats["latency_p99_seconds"],
+        },
+        "acceptance": {
+            "foldin_rms_within_5pct_of_refit": bool(rms_ratio <= 1.05),
+            "batched_ge_5x_row_loop": bool(batched_speedup >= 5.0),
+        },
+    }
+
+
+def record_serving_baseline(
+    path: str = "results/BENCH_serving.json", **kwargs: Any
+) -> dict[str, Any]:
+    """Run :func:`serving_benchmark` and write the result as JSON."""
+    results = serving_benchmark(**kwargs)
+    _write_json(path, results)
+    return results
+
+
 if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
     import argparse
     from contextlib import nullcontext
@@ -691,23 +860,31 @@ if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
         "results/BENCH_kernels.json by default; see --out)",
     )
     parser.add_argument(
+        "--serving",
+        action="store_true",
+        help="run the fold-in serving benchmark - held-out-row "
+        "accuracy vs full refit, batched-solve speedup, and server "
+        "throughput / p50 / p99 latency (writes "
+        "results/BENCH_serving.json by default; see --out)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
-        help="with --kernels: tiny shapes and break-even targets for "
-        "CI (bit-identity is still enforced at full strictness)",
+        help="with --kernels/--serving: tiny shapes and short fits "
+        "for CI (correctness gates stay at full strictness)",
     )
     parser.add_argument(
         "--check",
         action="store_true",
-        help="with --kernels: exit nonzero when any acceptance flag "
-        "is False",
+        help="with --kernels/--serving: exit nonzero when any "
+        "acceptance flag is False",
     )
     parser.add_argument(
         "--out",
         default=None,
         metavar="PATH",
-        help="with --kernels: where to write the benchmark JSON "
-        "(default results/BENCH_kernels.json)",
+        help="with --kernels/--serving: where to write the benchmark "
+        "JSON (default results/BENCH_<name>.json)",
     )
     parser.add_argument(
         "--trace",
@@ -740,6 +917,34 @@ if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
                     f"sparse {entry['sparse']['speedup']:.2f}x "
                     f"(max dev {entry['sparse']['max_factor_deviation']:.1e})"
                 )
+            print(f"acceptance: {recorded['acceptance']}")
+            if cli_args.check and not all(recorded["acceptance"].values()):
+                exit_code = 1
+        elif cli_args.serving:
+            recorded = record_serving_baseline(
+                path=cli_args.out or "results/BENCH_serving.json",
+                smoke=cli_args.smoke,
+            )
+            accuracy = recorded["accuracy"]
+            batching = recorded["batching"]
+            serving = recorded["serving"]
+            print(
+                f"fold-in rms {accuracy['foldin_rms']:.4f} vs refit "
+                f"{accuracy['refit_rms']:.4f} "
+                f"(ratio {accuracy['rms_ratio']:.3f})"
+            )
+            print(
+                f"batch {batching['batch_size']}: batched "
+                f"{batching['batched_seconds']:.3e}s vs row loop "
+                f"{batching['row_loop_seconds']:.3e}s "
+                f"({batching['batched_speedup']:.1f}x)"
+            )
+            print(
+                f"server: {serving['imputations_per_second']:.0f} "
+                f"imputations/s, latency p50 "
+                f"{serving['latency_p50_seconds']:.3e}s / p99 "
+                f"{serving['latency_p99_seconds']:.3e}s"
+            )
             print(f"acceptance: {recorded['acceptance']}")
             if cli_args.check and not all(recorded["acceptance"].values()):
                 exit_code = 1

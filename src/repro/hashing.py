@@ -1,0 +1,77 @@
+"""Canonical content hashing: one source of truth for every digest.
+
+Two subsystems content-address their payloads - the experiment runner's
+on-disk cell cache (:mod:`repro.runner.cache`) and the model artifact
+store (:mod:`repro.model.artifact`).  Both must agree forever on what
+"the hash of this configuration" means, so the canonicalisation rules
+live here, once:
+
+- :func:`canonical_json` - deterministic JSON text of a payload: keys
+  sorted at every nesting level, separators minified, non-finite floats
+  rejected (a payload containing NaN has no canonical form);
+- :func:`sha256_text` - hex SHA-256 of a string;
+- :func:`array_digest` - hex SHA-256 of one ndarray's *content*:
+  dtype + shape header followed by the C-order bytes, so two arrays
+  hash equal iff they are bit-identical and shape-identical (a (4,)
+  vector never collides with a (2, 2) matrix of the same bytes);
+- :func:`content_hash` - the combined digest of a JSON-able metadata
+  payload plus named arrays, the form model artifacts use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["canonical_json", "sha256_text", "array_digest", "content_hash"]
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialise ``payload`` to a canonical JSON string.
+
+    Keys are sorted at every nesting level and separators minified, so
+    two payloads that differ only in dict insertion order serialise
+    identically.  Non-finite floats are rejected (``allow_nan=False``)
+    - a payload containing NaN has no canonical form.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def sha256_text(text: str) -> str:
+    """Hex SHA-256 of ``text`` (UTF-8)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def array_digest(array: np.ndarray) -> str:
+    """Hex SHA-256 of one array's dtype, shape, and C-order bytes.
+
+    The dtype/shape header makes the digest injective over
+    reinterpretations: ``float64 (4,)`` and ``float32 (8,)`` views of
+    the same buffer hash differently, as do transposed shapes.
+    """
+    array = np.asarray(array)
+    hasher = hashlib.sha256()
+    hasher.update(str(array.dtype.str).encode("utf-8"))
+    hasher.update(repr(tuple(array.shape)).encode("utf-8"))
+    hasher.update(np.ascontiguousarray(array).tobytes())
+    return hasher.hexdigest()
+
+
+def content_hash(
+    payload: Any, arrays: Mapping[str, np.ndarray] | None = None
+) -> str:
+    """Combined digest of a JSON-able payload plus named arrays.
+
+    The arrays enter through their :func:`array_digest` under their
+    (sorted) names, so the hash covers metadata and numerical content
+    in one value without serialising the arrays into JSON.
+    """
+    document: dict[str, Any] = {"payload": payload}
+    if arrays:
+        document["arrays"] = {
+            name: array_digest(array) for name, array in sorted(arrays.items())
+        }
+    return sha256_text(canonical_json(document))

@@ -1,0 +1,36 @@
+"""repro.model: the fitted-model layer.
+
+Separates *what was fitted* from *how to fit it*:
+
+- :class:`FittedModel` - immutable fitted state (factors or estimate,
+  landmark block, mask statistics, versions) extracted from the NMF
+  family and the baseline imputers after every fit;
+- :func:`impute_matrix` - Formula 8 as a pure function of
+  ``(model, data)``;
+- :func:`save_model` / :func:`load_model` / :func:`verify_model` -
+  versioned JSON+npz artifacts with a canonical content hash (shared
+  hashing rules with the runner cache, :mod:`repro.hashing`);
+- ``python -m repro.model save|info|verify`` - the artifact CLI.
+
+Serving (fold-in imputation of new rows against a persisted model)
+lives in :mod:`repro.serving`.
+"""
+
+from .artifact import artifact_paths, load_model, save_model, verify_model
+from .fitted import (
+    FittedModel,
+    coerce_observations,
+    impute_matrix,
+    observed_column_bounds,
+)
+
+__all__ = [
+    "FittedModel",
+    "coerce_observations",
+    "impute_matrix",
+    "observed_column_bounds",
+    "artifact_paths",
+    "save_model",
+    "load_model",
+    "verify_model",
+]

@@ -1,0 +1,126 @@
+"""Artifact CLI: ``python -m repro.model save|info|verify``.
+
+``save`` fits one model on a registry dataset (the paper's injection
+protocol) and persists it as a versioned artifact; ``info`` prints a
+stored artifact's metadata; ``verify`` recomputes every digest and
+reports, optionally failing the process (``--check``) on a mismatch -
+the CI hook.
+
+Examples::
+
+    python -m repro.model save --dataset lake --method smfl \
+        --rank 5 --missing-rate 0.1 --out artifacts/smfl-lake
+    python -m repro.model info artifacts/smfl-lake
+    python -m repro.model verify artifacts/smfl-lake --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any
+
+from ..exceptions import ReproError
+from .artifact import load_model, save_model, verify_model
+
+__all__ = ["main"]
+
+
+def _cmd_save(args: argparse.Namespace) -> int:
+    from ..baselines.registry import make_imputer
+    from ..experiments.protocol import DATASET_RANKS, prepare_trial
+
+    trial = prepare_trial(
+        args.dataset,
+        missing_rate=args.missing_rate,
+        seed=args.seed,
+        n_rows=args.n_rows,
+    )
+    rank = args.rank if args.rank is not None else DATASET_RANKS[args.dataset]
+    imputer = make_imputer(
+        args.method,
+        n_spatial=trial.dataset.n_spatial,
+        rank=rank,
+        random_state=args.seed,
+    )
+    imputer.fit_impute(trial.x_missing, trial.mask)
+    model = imputer.fitted_model_
+    if model is None:
+        raise ReproError(f"method {args.method!r} produced no fitted model")
+    info = save_model(model, args.out)
+    print(json.dumps(info, indent=2, sort_keys=True))
+    return 0
+
+
+def _summary(path: str) -> dict[str, Any]:
+    model = load_model(path)
+    return {
+        "method": model.method,
+        "kind": "factors" if model.is_factor_model else "estimate",
+        "rank": model.rank,
+        "update_rule": model.update_rule,
+        "kernel_path": model.kernel_path,
+        "shape": [model.n_rows, model.n_cols],
+        "n_spatial": model.n_spatial,
+        "landmark_columns": list(model.landmark_columns),
+        "observed_fraction": model.observed_fraction,
+        "clip_to_observed": model.clip_to_observed,
+        "numerics_version": model.numerics_version,
+        "repro_version": model.repro_version,
+    }
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(json.dumps(_summary(args.path), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    report = verify_model(args.path)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.check and not report["ok"]:
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.model", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    save = sub.add_parser("save", help="fit one model and persist the artifact")
+    save.add_argument("--dataset", default="lake", help="registry dataset name")
+    save.add_argument(
+        "--method", default="smfl",
+        help="imputer registry name (nmf/smf/smfl/mc/...)",
+    )
+    save.add_argument("--rank", type=int, default=None, help="factorization rank")
+    save.add_argument("--n-rows", type=int, default=None, help="dataset rows")
+    save.add_argument("--missing-rate", type=float, default=0.1)
+    save.add_argument("--seed", type=int, default=0)
+    save.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="artifact base path (writes PATH.json + PATH.npz)",
+    )
+    save.set_defaults(func=_cmd_save)
+
+    info = sub.add_parser("info", help="print a stored artifact's metadata")
+    info.add_argument("path", help="artifact base path (or its .json)")
+    info.set_defaults(func=_cmd_info)
+
+    verify = sub.add_parser("verify", help="recompute every artifact digest")
+    verify.add_argument("path", help="artifact base path (or its .json)")
+    verify.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero when verification fails",
+    )
+    verify.set_defaults(func=_cmd_verify)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    QuantileHistogram,
     get_metrics,
     profiled,
     reset_metrics,
@@ -77,6 +78,7 @@ __all__ = [
     "NULL_TRACER",
     "NullSpan",
     "NullTracer",
+    "QuantileHistogram",
     "Sink",
     "Span",
     "SpanNode",

@@ -26,6 +26,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "QuantileHistogram",
     "MetricsRegistry",
     "get_metrics",
     "reset_metrics",
@@ -106,6 +107,81 @@ class Histogram:
         }
 
 
+class QuantileHistogram:
+    """Log-bucketed distribution with approximate quantiles (p50/p99).
+
+    The plain :class:`Histogram` stores moments only - enough for means
+    and variance, useless for tail latency.  This variant counts
+    samples into log-spaced buckets (:data:`PER_DECADE` per decade, so
+    every estimate is within ~12% relative error) and reads quantiles
+    off the cumulative counts; memory stays O(decades touched), never
+    O(samples).  Exact count/sum/min/max are kept alongside, and
+    quantile estimates are clamped into ``[min, max]`` so tiny sample
+    sets cannot report values outside the data.
+
+    Intended for positive quantities (latencies, sizes); zero and
+    negative samples land in a dedicated underflow bucket reported as
+    ``min``.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_buckets", "_underflow")
+
+    PER_DECADE = 10
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets: dict[int, int] = {}
+        self._underflow = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if value <= 0.0:
+            self._underflow += 1
+            return
+        index = math.floor(math.log10(value) * self.PER_DECADE)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def quantile(self, q: float) -> float | None:
+        """Approximate ``q``-quantile (0 <= q <= 1); ``None`` when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile wants q in [0, 1], got {q}")
+        if not self.count:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = self._underflow
+        if rank <= cumulative:
+            return self.min
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if rank <= cumulative:
+                # Geometric bucket midpoint, clamped into the observed range.
+                estimate = 10.0 ** ((index + 0.5) / self.PER_DECADE)
+                return min(max(estimate, self.min), self.max)
+        return self.max  # pragma: no cover - cumulative always reaches count
+
+    def snapshot(self) -> dict[str, Any]:
+        if not self.count:
+            return {"type": "quantile_histogram", "count": 0}
+        return {
+            "type": "quantile_histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
 class MetricsRegistry:
     """Name -> instrument map with get-or-create accessors.
 
@@ -139,6 +215,9 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
+
+    def quantile_histogram(self, name: str) -> QuantileHistogram:
+        return self._get(name, QuantileHistogram)
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """JSON-ready state of every instrument, name-sorted."""

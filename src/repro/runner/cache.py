@@ -22,37 +22,22 @@ and refreshes entries in place.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import tempfile
 import time
 from typing import Any
 
-from .. import __version__
+from ..hashing import canonical_json, sha256_text
+from ..versioning import NUMERICS_VERSION, __version__
 from .spec import RunSpec
 
 __all__ = ["NUMERICS_VERSION", "canonical_json", "cache_key", "ResultCache"]
 
-NUMERICS_VERSION = 1
-"""Manual generation counter of the *numerical* contract.
 
-Bump this when a solver change is allowed to alter result bits (a new
-default path, a reordered reduction) so every cached entry invalidates
-even if ``repro.__version__`` stays put.  Pure-speed changes that keep
-results bit-identical (the workspace kernels, the graph cache) must NOT
-bump it - cache reuse across them is exactly the point."""
-
-
-def canonical_json(payload: Any) -> str:
-    """Serialise ``payload`` to a canonical JSON string.
-
-    Keys are sorted at every nesting level and separators minified, so
-    two payloads that differ only in dict insertion order serialise
-    identically.  Non-finite floats are rejected (``allow_nan=False``)
-    - a cell config containing NaN has no canonical form.
-    """
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+# Canonicalisation lives in repro.hashing (shared with the model
+# artifact store); `canonical_json` stays re-exported here because the
+# cache-key tests and downstream callers import it from this module.
 
 
 def cache_key(spec: RunSpec | dict[str, Any]) -> str:
@@ -65,7 +50,7 @@ def cache_key(spec: RunSpec | dict[str, Any]) -> str:
     """
     config = spec.config() if isinstance(spec, RunSpec) else spec
     text = canonical_json(config) + "\n" + __version__ + f"\nnumerics:{NUMERICS_VERSION}"
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return sha256_text(text)
 
 
 class ResultCache:

@@ -294,6 +294,53 @@ def _timing(params: dict[str, Any]) -> dict[str, Any]:
     return {"value": float(seconds), "fit": summarize_fit(report)}
 
 
+def _fit_artifact(params: dict[str, Any]) -> dict[str, Any]:
+    """Fit one model and persist it as a versioned artifact.
+
+    The value is the artifact's content hash - a deterministic function
+    of the params, so the cell caches like any scoring cell - and the
+    payload carries an ``artifact`` dict (paths + hash) that the
+    manifest records so a run's outputs are discoverable from its
+    manifest alone.  ``params["artifact_dir"]`` names the destination
+    directory; the file stem is ``<method>-<dataset>-r<rank>-s<seed>``.
+    """
+    import os
+
+    from ..baselines.registry import make_imputer
+    from ..experiments.protocol import DATASET_RANKS, prepare_trial
+    from ..model.artifact import save_model
+
+    dataset_name = params["dataset"]
+    method = params["method"]
+    seed = params["seed"]
+    trial = prepare_trial(
+        dataset_name,
+        missing_rate=params["missing_rate"],
+        seed=seed,
+        n_rows=params.get("n_rows"),
+        fast=params.get("fast", False),
+    )
+    rank = params.get("rank") or DATASET_RANKS[dataset_name]
+    imputer = make_imputer(
+        method,
+        n_spatial=trial.dataset.n_spatial,
+        rank=rank,
+        random_state=seed,
+    )
+    imputer.fit_impute(trial.x_missing, trial.mask)
+    model = imputer.fitted_model_
+    if model is None:
+        raise ValidationError(f"method {method!r} produced no fitted model")
+    stem = f"{method}-{dataset_name}-r{rank}-s{seed}"
+    info = save_model(model, os.path.join(params["artifact_dir"], stem))
+    report = getattr(imputer, "fit_report_", None)
+    return {
+        "value": info["content_hash"],
+        "fit": summarize_fit(report),
+        "artifact": info,
+    }
+
+
 CELL_KINDS: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
     "imputation_rms": _imputation_rms,
     "repair_rms": _repair_rms,
@@ -301,6 +348,7 @@ CELL_KINDS: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
     "clustering_accuracy": _clustering_accuracy,
     "feature_locations": _feature_locations,
     "timing": _timing,
+    "fit_artifact": _fit_artifact,
 }
 """Cell-function registry; the dispatch key a RunSpec carries."""
 

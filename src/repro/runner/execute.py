@@ -115,7 +115,7 @@ def _record(
     *,
     cache_hit: bool,
 ) -> dict[str, Any]:
-    return {
+    record = {
         "index": index,
         "kind": spec.kind,
         "params": spec.params,
@@ -126,6 +126,9 @@ def _record(
         "fit": payload.get("fit"),
         "wall_seconds": float(payload.get("wall_seconds", 0.0)),
     }
+    if payload.get("artifact") is not None:
+        record["artifact"] = payload["artifact"]
+    return record
 
 
 def _merge_worker_events(

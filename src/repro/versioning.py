@@ -1,0 +1,32 @@
+"""Version constants: the package, numerics, and artifact-schema contracts.
+
+This module is a dependency leaf (stdlib only) so every layer - the
+core models, the runner cache, the model artifact store - can import
+version constants without touching the package ``__init__`` and its
+model re-exports (which would cycle: ``repro`` -> ``repro.core`` ->
+``repro.model`` -> ``repro.runner`` -> ``repro``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["__version__", "NUMERICS_VERSION", "ARTIFACT_SCHEMA_VERSION"]
+
+__version__ = "1.2.0"
+"""The package version (single source; ``repro.__version__`` re-exports it)."""
+
+NUMERICS_VERSION = 1
+"""Manual generation counter of the *numerical* contract.
+
+Bump this when a solver change is allowed to alter result bits (a new
+default path, a reordered reduction) so every cached entry - runner
+cells and model artifacts alike - invalidates even if ``__version__``
+stays put.  Pure-speed changes that keep results bit-identical (the
+workspace kernels, the graph cache) must NOT bump it - cache reuse
+across them is exactly the point."""
+
+ARTIFACT_SCHEMA_VERSION = 1
+"""Layout generation of the model artifact files (JSON + npz).
+
+Bump on any change to the artifact document structure - field renames,
+hash-rule changes, new required arrays.  A loader refuses artifacts
+written under a different schema version rather than guessing."""

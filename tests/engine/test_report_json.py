@@ -120,3 +120,52 @@ class TestRoundTrip:
             json.loads(json.dumps(report.to_json_dict()))
         )
         assert restored == dataclasses.replace(report, u=None, v=None)
+
+
+# --------------------------------------------------------------- properties
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+_history = st.lists(_finite, max_size=6).map(tuple)
+
+report_draw = st.builds(
+    FitReport,
+    objective_history=_history,
+    n_iter=st.integers(min_value=0, max_value=10_000),
+    converged=st.booleans(),
+    wall_times=_history,
+    factor_deltas=st.dictionaries(
+        st.sampled_from(["u", "v"]), _history, max_size=2
+    ),
+    n_increases=st.integers(min_value=0, max_value=50),
+    landmark_block_intact=st.sampled_from([None, True, False]),
+    sampled_objectives=_history,
+    rows_touched=st.lists(
+        st.integers(min_value=0, max_value=10_000), max_size=6
+    ).map(tuple),
+    method=st.sampled_from(["", "nmf", "smf", "smfl", "nmf_sgd"]),
+    setup_seconds=st.floats(min_value=0.0, max_value=1e6),
+    loop_seconds=st.floats(min_value=0.0, max_value=1e6),
+)
+
+
+class TestRoundTripProperty:
+    """Hypothesis: the JSON codec is the identity on every telemetry draw."""
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(report=report_draw)
+    def test_codec_is_identity_through_real_json(self, report):
+        wire = json.loads(json.dumps(report.to_json_dict()))
+        assert FitReport.from_json_dict(wire) == report
+        # A second hop changes nothing (the codec is idempotent).
+        again = FitReport.from_json_dict(
+            json.loads(json.dumps(FitReport.from_json_dict(wire).to_json_dict()))
+        )
+        assert again == report

@@ -1,0 +1,152 @@
+"""FittedModel extraction: the refactor must not move a single bit.
+
+The tentpole contract: ``solver.impute()`` (legacy, stateful) and
+``impute_matrix(model, x, mask)`` (pure function of the extracted
+state) produce **bit-identical** output, for every solver family and
+for the estimate-flavour baselines; impute-before-fit raises
+:class:`NotFittedError` (not ``AttributeError``); and SMFL's frozen
+landmark block travels into the model's metadata.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import make_imputer
+from repro.core import SMF, SMFL, MaskedNMF
+from repro.exceptions import NotFittedError, ValidationError
+from repro.model import (
+    FittedModel,
+    coerce_observations,
+    impute_matrix,
+    observed_column_bounds,
+)
+
+
+def _problem(seed: int = 0, n: int = 24, m: int = 7, missing: float = 0.25):
+    rng = np.random.default_rng(seed)
+    x = np.abs(rng.normal(1.0, 0.5, size=(n, m)))
+    x_missing = x.copy()
+    holes = rng.random((n, m)) < missing
+    holes[:, :2] = False  # keep spatial columns observed
+    x_missing[holes] = np.nan
+    return x_missing
+
+
+SOLVERS = {
+    "nmf": lambda: MaskedNMF(rank=3, max_iter=40, random_state=0),
+    "smf": lambda: SMF(rank=3, n_spatial=2, max_iter=40, random_state=0),
+    "smfl": lambda: SMFL(rank=4, n_spatial=2, max_iter=40, random_state=0),
+}
+
+
+class TestSolverExtraction:
+    @pytest.mark.parametrize("name", sorted(SOLVERS))
+    def test_impute_is_bit_identical_to_pure_function(self, name):
+        x_missing = _problem()
+        solver = SOLVERS[name]().fit(x_missing)
+        legacy = solver.impute()
+        model = solver.fitted_model()
+        assert np.array_equal(legacy, impute_matrix(model, x_missing))
+        assert np.array_equal(legacy, model.impute(x_missing))
+
+    @pytest.mark.parametrize("name", sorted(SOLVERS))
+    def test_fit_attaches_factor_model(self, name):
+        solver = SOLVERS[name]().fit(_problem())
+        model = solver.fitted_model_
+        assert isinstance(model, FittedModel)
+        assert model.is_factor_model
+        assert model.method == solver.method
+        assert np.array_equal(model.u, solver.u_)
+        assert np.array_equal(model.v, solver.v_)
+
+    def test_smfl_landmark_metadata(self):
+        solver = SOLVERS["smfl"]().fit(_problem())
+        model = solver.fitted_model_
+        n_landmarks = solver.landmarks_.values.shape[1]
+        assert model.landmark_columns == tuple(range(n_landmarks))
+        assert np.array_equal(
+            model.landmark_values, solver.v_[:, :n_landmarks]
+        )
+
+    def test_non_landmark_solvers_carry_no_landmarks(self):
+        model = SOLVERS["smf"]().fit(_problem()).fitted_model_
+        assert model.landmark_columns == ()
+        assert model.landmark_values is None
+
+
+class TestNotFitted:
+    @pytest.mark.parametrize("name", sorted(SOLVERS))
+    def test_solver_impute_before_fit(self, name):
+        with pytest.raises(NotFittedError):
+            SOLVERS[name]().impute()
+        with pytest.raises(NotFittedError):
+            SOLVERS[name]().fitted_model()
+
+    def test_baseline_fitted_model_before_fit(self):
+        with pytest.raises(NotFittedError):
+            make_imputer("mean").fitted_model()
+
+
+class TestBaselineSeam:
+    @pytest.mark.parametrize("name", ["mean", "knn", "softimpute"])
+    def test_fit_impute_attaches_estimate_model(self, name):
+        x_missing = _problem()
+        imputer = make_imputer(name, random_state=0)
+        x_hat = imputer.fit_impute(x_missing)
+        model = imputer.fitted_model()
+        assert not model.is_factor_model
+        assert model.method == imputer.name
+        # The pure function re-derives exactly what fit_impute returned.
+        assert np.array_equal(x_hat, impute_matrix(model, x_missing))
+
+    def test_fully_observed_early_return_still_attaches(self):
+        x = np.abs(np.random.default_rng(1).normal(size=(6, 4))) + 0.5
+        imputer = make_imputer("mean")
+        out = imputer.fit_impute(x)
+        assert np.array_equal(out, x)
+        assert imputer.fitted_model() is not None
+
+
+class TestValueObject:
+    def test_needs_factors_or_estimate(self):
+        with pytest.raises(ValidationError):
+            FittedModel(method="empty")
+        with pytest.raises(ValidationError):
+            FittedModel(method="half", u=np.ones((2, 2)))
+
+    def test_arrays_are_read_only(self):
+        model = FittedModel(
+            method="nmf", u=np.ones((3, 2)), v=np.ones((2, 4)), rank=2
+        )
+        with pytest.raises(ValueError):
+            model.u[0, 0] = 7.0
+
+
+class TestObservedColumnBounds:
+    def test_unobserved_column_gets_infinite_bounds(self):
+        x = np.array([[1.0, 0.0], [3.0, 0.0]])
+        observed = np.array([[True, False], [True, False]])
+        lows, highs = observed_column_bounds(x, observed)
+        assert lows[0] == 1.0 and highs[0] == 3.0
+        assert lows[1] == -np.inf and highs[1] == np.inf
+
+
+class TestCoerceObservations:
+    def test_nan_detection_zero_fills(self):
+        x = np.array([[1.0, np.nan], [2.0, 3.0]])
+        filled, observation = coerce_observations(x, None)
+        assert filled[0, 1] == 0.0
+        assert observation.observed[0, 1] == np.False_
+
+    def test_mask_override_and_nan_at_observed_rejected(self):
+        x = np.array([[1.0, np.nan]])
+        filled, _ = coerce_observations(x, np.array([[True, False]]))
+        assert filled[0, 1] == 0.0
+        with pytest.raises(ValidationError):
+            coerce_observations(x, np.array([[False, True]]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            coerce_observations(np.ones((2, 2)), np.ones((3, 2), dtype=bool))

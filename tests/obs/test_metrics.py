@@ -103,3 +103,59 @@ class TestProfiled:
             del buffer
         peak = registry.snapshot()["profile.peak_traced_bytes"]["value"]
         assert peak >= 8_000_000  # the 1M-float array was seen
+
+
+class TestQuantileHistogram:
+    def _histogram(self, values):
+        from repro.obs import QuantileHistogram
+
+        histogram = QuantileHistogram()
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    def test_empty_reports_none(self):
+        histogram = self._histogram([])
+        assert histogram.quantile(0.5) is None
+        assert histogram.snapshot() == {"type": "quantile_histogram", "count": 0}
+
+    def test_quantiles_within_bucket_error(self):
+        # Uniform log sweep over three decades: every estimate must land
+        # within one log bucket (~12% relative) of the exact quantile.
+        values = np.logspace(-3, 0, 400)
+        histogram = self._histogram(values)
+        for q in (0.5, 0.9, 0.99):
+            exact = float(np.quantile(values, q))
+            estimate = histogram.quantile(q)
+            assert abs(estimate - exact) / exact < 0.15
+
+    def test_estimates_clamped_to_observed_range(self):
+        histogram = self._histogram([0.004, 0.005])
+        for q in (0.0, 0.5, 1.0):
+            assert 0.004 <= histogram.quantile(q) <= 0.005
+
+    def test_nonpositive_samples_land_in_underflow(self):
+        histogram = self._histogram([-1.0, 0.0, 5.0])
+        assert histogram.count == 3
+        assert histogram.quantile(0.5) == -1.0  # underflow reports min
+        assert histogram.max == 5.0
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ValueError):
+            self._histogram([1.0]).quantile(1.5)
+
+    def test_memory_stays_bounded(self):
+        histogram = self._histogram(np.logspace(-6, 2, 10_000))
+        # 8 decades * 10 buckets/decade, not 10k samples.
+        assert len(histogram._buckets) <= 81
+
+    def test_registry_accessor_and_kind_collision(self):
+        registry = MetricsRegistry()
+        histogram = registry.quantile_histogram("latency")
+        histogram.observe(0.25)
+        assert registry.quantile_histogram("latency") is histogram
+        snapshot = registry.snapshot()["latency"]
+        assert snapshot["type"] == "quantile_histogram"
+        assert snapshot["count"] == 1
+        with pytest.raises(Exception):
+            registry.counter("latency")

@@ -1,0 +1,110 @@
+"""FoldInServer: chunked batching, artifact loading, and telemetry.
+
+The server is plumbing around :func:`repro.serving.fold_in` - the tests
+pin that the plumbing is invisible (chunked answers equal one-shot
+answers bit-for-bit), that a server boots straight from an artifact
+path with verification, and that every request feeds the serving
+counters and latency quantiles the benchmark reads back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SMFL
+from repro.exceptions import ValidationError
+from repro.model import FittedModel, save_model
+from repro.obs import MetricsRegistry
+from repro.serving import FoldInServer, fold_in
+
+
+@pytest.fixture(scope="module")
+def model() -> FittedModel:
+    rng = np.random.default_rng(0)
+    spatial = rng.random((40, 2)) * 4.0
+    attrs = np.abs(rng.normal(1.0, 0.3, size=(40, 5)))
+    x = np.hstack([spatial, attrs])
+    x[rng.random(x.shape) < 0.15] = np.nan
+    x[:, :2] = spatial  # spatial coordinates stay observed
+    solver = SMFL(rank=4, n_spatial=2, max_iter=60, random_state=0)
+    return solver.fit(x).fitted_model()
+
+
+def _requests(model, b, seed=1):
+    rng = np.random.default_rng(seed)
+    x = np.abs(rng.normal(1.0, 0.4, size=(b, model.n_cols)))
+    holes = rng.random(x.shape) < 0.3
+    holes[:, :2] = False
+    x[holes] = np.nan
+    return x
+
+
+class TestChunking:
+    def test_chunked_equals_one_shot(self, model):
+        x = _requests(model, 10)
+        server = FoldInServer(model, batch_size=4, metrics=MetricsRegistry())
+        direct = fold_in(model, x)
+        chunked = server.fold_in(x)
+        np.testing.assert_array_equal(chunked.imputed, direct.imputed)
+        np.testing.assert_array_equal(chunked.u_new, direct.u_new)
+        assert chunked.n_rows == 10
+
+    def test_single_row_convenience(self, model):
+        server = FoldInServer(model, metrics=MetricsRegistry())
+        row = _requests(model, 1)[0]
+        out = server.impute_rows(row)
+        assert out.shape == (model.n_cols,)
+        np.testing.assert_array_equal(out, fold_in(model, row).imputed[0])
+
+
+class TestArtifactBoot:
+    def test_server_loads_from_path(self, model, tmp_path):
+        base = str(tmp_path / "served")
+        save_model(model, base)
+        server = FoldInServer(base, metrics=MetricsRegistry())
+        x = _requests(model, 3)
+        np.testing.assert_array_equal(
+            server.impute_rows(x), fold_in(model, x).imputed
+        )
+
+
+class TestTelemetry:
+    def test_counters_and_stats(self, model):
+        registry = MetricsRegistry()
+        server = FoldInServer(model, batch_size=8, metrics=registry)
+        server.impute_rows(_requests(model, 10))
+        server.impute_rows(_requests(model, 6, seed=2))
+
+        assert registry.counter("serving.requests").value == 2
+        assert registry.counter("serving.imputations").value == 16
+        stats = server.stats()
+        assert stats["requests"] == 2
+        assert stats["rows"] == 16
+        assert stats["imputations_per_second"] > 0
+        assert stats["latency_p50_seconds"] > 0
+        assert stats["latency_p99_seconds"] >= stats["latency_p50_seconds"]
+
+    def test_latency_histograms_fed_per_request(self, model):
+        registry = MetricsRegistry()
+        server = FoldInServer(model, metrics=registry)
+        for seed in range(5):
+            server.impute_rows(_requests(model, 2, seed=seed))
+        assert registry.quantile_histogram("serving.request_seconds").count == 5
+        assert registry.quantile_histogram("serving.row_seconds").count == 5
+
+
+class TestValidation:
+    def test_estimate_model_rejected(self):
+        estimate_model = FittedModel.from_estimate(
+            method="mean",
+            estimate=np.ones((3, 4)),
+            x_observed=np.ones((3, 4)),
+            observed=np.ones((3, 4), dtype=bool),
+        )
+        with pytest.raises(ValidationError):
+            FoldInServer(estimate_model, metrics=MetricsRegistry())
+
+    def test_bad_batch_size_rejected(self, model):
+        with pytest.raises(ValidationError):
+            FoldInServer(model, batch_size=0, metrics=MetricsRegistry())

@@ -1,0 +1,89 @@
+"""repro.hashing: one canonicalisation, two consumers.
+
+The runner cache and the artifact store must agree forever on what
+"the hash of this payload" means; these tests pin the shared rules -
+key-order independence, NaN rejection, dtype/shape injectivity - and
+that both consumers actually route through this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import array_digest, canonical_json, content_hash, sha256_text
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": {"d": 2, "c": 3}}) == canonical_json(
+            {"a": {"c": 3, "d": 2}, "b": 1}
+        )
+
+    def test_minified(self):
+        assert canonical_json({"a": [1, 2]}) == '{"a":[1,2]}'
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestArrayDigest:
+    def test_bit_identical_arrays_agree(self):
+        a = np.arange(6.0).reshape(2, 3)
+        assert array_digest(a) == array_digest(a.copy())
+
+    def test_shape_is_part_of_identity(self):
+        a = np.arange(4.0)
+        assert array_digest(a) != array_digest(a.reshape(2, 2))
+
+    def test_dtype_is_part_of_identity(self):
+        a = np.arange(4, dtype=np.float64)
+        assert array_digest(a) != array_digest(a.astype(np.float32))
+
+    def test_noncontiguous_views_hash_by_content(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert array_digest(a.T) == array_digest(np.ascontiguousarray(a.T))
+
+
+class TestContentHash:
+    def test_stable_across_orderings(self):
+        arrays = {"u": np.ones((2, 2)), "v": np.zeros(3)}
+        swapped = {"v": np.zeros(3), "u": np.ones((2, 2))}
+        assert content_hash({"k": 1}, arrays) == content_hash({"k": 1}, swapped)
+
+    def test_sensitive_to_metadata_and_arrays(self):
+        arrays = {"u": np.ones(2)}
+        base = content_hash({"k": 1}, arrays)
+        assert base != content_hash({"k": 2}, arrays)
+        nudged = np.nextafter(np.ones(2), 2.0)  # one ulp: a real bit change
+        assert base != content_hash({"k": 1}, {"u": nudged})
+        assert base == content_hash({"k": 1}, {"u": np.ones(2)})
+
+
+class TestConsumersShareTheRules:
+    def test_runner_cache_key_uses_canonical_json(self):
+        from repro.runner import cache_key
+        from repro.versioning import NUMERICS_VERSION, __version__
+
+        config = {"kind": "x", "params": {"b": 1, "a": 2}}
+        reordered = {"params": {"a": 2, "b": 1}, "kind": "x"}
+        assert cache_key(config) == cache_key(reordered)
+        # The key is the shared canonical text plus the version salts.
+        text = (
+            canonical_json(config)
+            + "\n" + __version__
+            + f"\nnumerics:{NUMERICS_VERSION}"
+        )
+        assert cache_key(config) == sha256_text(text)
+
+    def test_artifact_hash_matches_manual_recomputation(self, tmp_path):
+        from repro.model import FittedModel, save_model
+        from repro.model.artifact import _hashed_metadata, _model_arrays
+
+        model = FittedModel(
+            method="nmf", u=np.ones((3, 2)), v=np.ones((2, 4)), rank=2
+        )
+        info = save_model(model, str(tmp_path / "m"))
+        manual = content_hash(_hashed_metadata(model), _model_arrays(model))
+        assert info["content_hash"] == manual
