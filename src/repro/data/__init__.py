@@ -15,6 +15,7 @@ from .generators import (
     make_economic,
     make_farm,
     make_lake,
+    make_planted_lowrank,
     make_vehicle,
 )
 from .registry import DATASET_NAMES, load_dataset
@@ -32,6 +33,7 @@ __all__ = [
     "make_economic",
     "make_farm",
     "make_lake",
+    "make_planted_lowrank",
     "make_vehicle",
     "DATASET_NAMES",
     "load_dataset",

@@ -32,7 +32,13 @@ from ..validation import check_positive_int, resolve_rng
 from .fields import make_smooth_field
 from .schema import SpatialDataset
 
-__all__ = ["make_economic", "make_farm", "make_lake", "make_vehicle"]
+__all__ = [
+    "make_economic",
+    "make_farm",
+    "make_lake",
+    "make_vehicle",
+    "make_planted_lowrank",
+]
 
 
 def _sample_clustered_locations(
@@ -143,6 +149,66 @@ def _assemble(
         column_names=tuple(column_names),
         labels=labels,
     )
+
+
+def make_planted_lowrank(
+    n_rows: int = 1000,
+    n_cols: int = 16,
+    rank: int = 6,
+    *,
+    noise: float = 0.05,
+    sharpness: float = 8.0,
+    random_state: object = None,
+) -> SpatialDataset:
+    """Planted low-rank dataset with explicit landmark structure.
+
+    The scaling-harness generator (:mod:`repro.bench.specs`): unlike
+    the paper-shaped generators above, every structural quantity is a
+    parameter, so benchmark sweeps can dial rows, columns and the
+    planted rank independently and far past any static dataset.
+
+    Construction: ``rank`` landmark locations are drawn inside the unit
+    box and each row's location is sampled around one of them.  The row
+    factor ``U`` is the softmax (temperature ``1/sharpness``) of the
+    negative squared row-to-landmark distances - non-negative, rows
+    summing to one, spatially smooth - and the attribute block is
+    exactly ``U @ V_attr`` (non-negative loadings) plus relative
+    observation noise.  The spatial block carries the true locations,
+    which a sharp softmax makes close to ``U @ landmarks`` - the
+    identity SMFL's frozen landmark block exploits.  The result is a
+    matrix of true rank ``rank`` (up to noise) whose factors align with
+    the geometry, i.e. the structure the paper's methods do or do not
+    recover.
+    """
+    n_spatial = 2  # matches _assemble and every paper dataset
+    n_rows = check_positive_int(n_rows, name="n_rows")
+    n_cols = check_positive_int(n_cols, name="n_cols", minimum=n_spatial + 1)
+    rank = check_positive_int(rank, name="rank")
+    rng = resolve_rng(random_state)
+    landmarks = 0.15 + 0.7 * rng.random((rank, n_spatial))
+    assignments = rng.integers(rank, size=n_rows)
+    locations = landmarks[assignments] + rng.normal(scale=0.08, size=(n_rows, n_spatial))
+    locations = np.clip(locations, 0.0, 1.0)
+    sq_dist = ((locations[:, None, :] - landmarks[None, :, :]) ** 2).sum(axis=2)
+    logits = -sharpness * sq_dist
+    logits -= logits.max(axis=1, keepdims=True)
+    u = np.exp(logits)
+    u /= u.sum(axis=1, keepdims=True)
+    n_attrs = n_cols - n_spatial
+    v_attr = rng.random((rank, n_attrs)) * rng.lognormal(
+        mean=0.0, sigma=0.6, size=(1, n_attrs)
+    )
+    # einsum without optimize stays off the BLAS path, so the planted
+    # matrix is bit-identical across machines running the same numpy -
+    # the bench gate pins generated bytes by content hash cross-commit.
+    attrs = np.einsum("nk,ka->na", u, v_attr)
+    scale = np.maximum(attrs.std(axis=0), 1e-9)
+    attrs = attrs + rng.normal(size=attrs.shape) * (noise * scale)
+    attrs = np.maximum(attrs, 0.0)
+    names = [f"si_{i}" for i in range(n_spatial)] + [
+        f"attr_{j}" for j in range(n_attrs)
+    ]
+    return _assemble("planted_lowrank", locations, attrs, names, assignments)
 
 
 def make_economic(

@@ -60,12 +60,12 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 from typing import Any
 
 import numpy as np
 
-from ..obs.trace import get_tracer
+from ..bench.io import write_bench_json
+from ..obs.trace import get_tracer, timed_call
 from .report import FitReport
 
 __all__ = [
@@ -184,20 +184,12 @@ def engine_benchmark(
     return results
 
 
-def _write_json(path: str, results: dict[str, Any]) -> None:
-    results["python"] = platform.python_version()
-    results["machine"] = platform.machine()
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(results, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-
-
 def record_baseline(
     path: str = "results/BENCH_engine.json", **kwargs: Any
 ) -> dict[str, Any]:
     """Run :func:`engine_benchmark` and write the result as JSON."""
     results = engine_benchmark(**kwargs)
-    _write_json(path, results)
+    write_bench_json("engine", results, path=path)
     return results
 
 
@@ -318,7 +310,7 @@ def record_stochastic_baseline(
 ) -> dict[str, Any]:
     """Run :func:`stochastic_benchmark` and write the result as JSON."""
     results = stochastic_benchmark(**kwargs)
-    _write_json(path, results)
+    write_bench_json("stochastic", results, path=path)
     return results
 
 
@@ -412,7 +404,7 @@ def record_runner_baseline(
 ) -> dict[str, Any]:
     """Run :func:`runner_benchmark` and write the result as JSON."""
     results = runner_benchmark(**kwargs)
-    _write_json(path, results)
+    write_bench_json("runner", results, path=path)
     return results
 
 
@@ -522,7 +514,7 @@ def record_obs_baseline(
 ) -> dict[str, Any]:
     """Run :func:`obs_overhead_benchmark` and write the result as JSON."""
     results = obs_overhead_benchmark(**kwargs)
-    _write_json(path, results)
+    write_bench_json("obs", results, path=path)
     return results
 
 
@@ -659,7 +651,7 @@ def record_kernel_baseline(
 ) -> dict[str, Any]:
     """Run :func:`kernel_benchmark` and write the result as JSON."""
     results = kernel_benchmark(**kwargs)
-    _write_json(path, results)
+    write_bench_json("kernels", results, path=path)
     return results
 
 
@@ -751,12 +743,9 @@ def serving_benchmark(
     arena = BufferArena()
 
     def _best_seconds(label: str, run: Any) -> float:
-        best = float("inf")
-        for _ in range(repeats):
-            with get_tracer().span(f"serving_bench:{label}") as span:
-                run()
-            best = min(best, span.duration)
-        return best
+        return min(
+            timed_call(f"serving_bench:{label}", run) for _ in range(repeats)
+        )
 
     def _batched() -> None:
         fold_in(fitted, x_batch, observed_batch, arena=arena)
@@ -820,7 +809,7 @@ def record_serving_baseline(
 ) -> dict[str, Any]:
     """Run :func:`serving_benchmark` and write the result as JSON."""
     results = serving_benchmark(**kwargs)
-    _write_json(path, results)
+    write_bench_json("serving", results, path=path)
     return results
 
 

@@ -26,7 +26,14 @@ from typing import Any, Mapping
 
 import numpy as np
 
-__all__ = ["canonical_json", "sha256_text", "array_digest", "content_hash"]
+__all__ = [
+    "canonical_json",
+    "sha256_text",
+    "array_digest",
+    "content_hash",
+    "payload_digest",
+    "digest_head",
+]
 
 
 def canonical_json(payload: Any) -> str:
@@ -75,3 +82,23 @@ def content_hash(
             name: array_digest(array) for name, array in sorted(arrays.items())
         }
     return sha256_text(canonical_json(document))
+
+
+def payload_digest(payload: Any) -> str:
+    """Hex SHA-256 of a JSON-able payload's canonical form.
+
+    The array-free convenience over :func:`content_hash`: the identity
+    of a configuration dict (a benchmark sweep cell, a generator-spec
+    parameterisation) as one digest.
+    """
+    return sha256_text(canonical_json(payload))
+
+
+def digest_head(digest: str, length: int = 12) -> str:
+    """Leading ``length`` hex chars of a digest - the human-facing form.
+
+    Used wherever a full 64-char digest would drown the surrounding
+    text (sweep cell labels, gate failure messages); 12 hex chars keep
+    the collision odds negligible at benchmark-registry scale.
+    """
+    return digest[:length]

@@ -9,13 +9,22 @@ the repair task.
 """
 
 from .mask import ObservationMask, mask_from_missing_values
-from .injection import inject_missing, inject_errors, MissingSpec, ErrorSpec
+from .injection import (
+    ErrorSpec,
+    MissingSpec,
+    MNARSpec,
+    inject_errors,
+    inject_missing,
+    inject_missing_mnar,
+)
 
 __all__ = [
     "ObservationMask",
     "mask_from_missing_values",
     "inject_missing",
+    "inject_missing_mnar",
     "inject_errors",
     "MissingSpec",
+    "MNARSpec",
     "ErrorSpec",
 ]

@@ -24,7 +24,14 @@ from ..exceptions import DegenerateDataError
 from ..validation import as_matrix, check_in_range, resolve_rng
 from .mask import ObservationMask
 
-__all__ = ["MissingSpec", "ErrorSpec", "inject_missing", "inject_errors"]
+__all__ = [
+    "MissingSpec",
+    "MNARSpec",
+    "ErrorSpec",
+    "inject_missing",
+    "inject_missing_mnar",
+    "inject_errors",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +58,44 @@ class MissingSpec:
             self.missing_rate, name="missing_rate", low=0.0, high=1.0,
             low_inclusive=False, high_inclusive=False,
         )
+
+
+@dataclass(frozen=True)
+class MNARSpec:
+    """Configuration for missing-not-at-random injection.
+
+    Unlike :class:`MissingSpec` (MCAR: every eligible cell equally
+    likely), the probability that a cell goes missing grows with its
+    value's column z-score: large values hide preferentially, the
+    pattern sensor saturation and privacy suppression produce.  The
+    benchmark harness (:mod:`repro.bench`) sweeps this against MCAR
+    because value-dependent masks are the regime where mean/neighbour
+    baselines degrade fastest.
+
+    Parameters
+    ----------
+    missing_rate:
+        Expected fraction of eligible cells removed, in (0, 1).
+    strength:
+        Selection-bias exponent: a cell's sampling weight is
+        ``exp(strength * zscore)``.  ``0`` reduces to MCAR; the default
+        ``2.0`` makes a +1-sigma cell ``e^2`` times more likely to be
+        hidden than the column mean.
+    columns / protect_rows:
+        As in :class:`MissingSpec`.
+    """
+
+    missing_rate: float
+    strength: float = 2.0
+    columns: tuple[int, ...] | None = None
+    protect_rows: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        check_in_range(
+            self.missing_rate, name="missing_rate", low=0.0, high=1.0,
+            low_inclusive=False, high_inclusive=False,
+        )
+        check_in_range(self.strength, name="strength", low=0.0)
 
 
 @dataclass(frozen=True)
@@ -96,14 +141,21 @@ def _sample_cells(
     n_inject: int,
     n_cols_total: int,
     rng: np.random.Generator,
+    *,
+    probabilities: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Sample injected cells while leaving >= 1 untouched cell per column."""
+    """Sample injected cells while leaving >= 1 untouched cell per column.
+
+    ``probabilities`` (optional, normalised) biases the without-
+    replacement draw per cell - the MNAR path; ``None`` is uniform
+    (MCAR).
+    """
     n_cells = grid_rows.size
     if n_inject >= n_cells:
         raise DegenerateDataError(
             f"injection would cover all {n_cells} eligible cells; lower the rate"
         )
-    chosen = rng.choice(n_cells, size=n_inject, replace=False)
+    chosen = rng.choice(n_cells, size=n_inject, replace=False, p=probabilities)
     sel_rows, sel_cols = grid_rows[chosen], grid_cols[chosen]
     # Keep at least one clean cell per column: drop one injected cell from
     # any column that got fully covered.
@@ -114,6 +166,24 @@ def _sample_cells(
         victims = np.nonzero(sel_cols == col)[0]
         keep[victims[0]] = False
     return sel_rows[keep], sel_cols[keep]
+
+
+def _resolve_columns(
+    columns: tuple[int, ...] | None, n_cols: int
+) -> np.ndarray:
+    """Validate and normalise a column-selection tuple (``None`` = all)."""
+    resolved = (
+        np.arange(n_cols, dtype=np.int64)
+        if columns is None
+        else np.unique(np.asarray(columns, dtype=np.int64))
+    )
+    if resolved.size and (resolved.min() < 0 or resolved.max() >= n_cols):
+        raise DegenerateDataError(
+            f"columns {resolved.tolist()} out of range for {n_cols}-column data"
+        )
+    if resolved.size == 0:
+        raise DegenerateDataError("no columns selected for injection")
+    return resolved
 
 
 def inject_missing(
@@ -134,22 +204,53 @@ def inject_missing(
     x = as_matrix(x, name="x", copy=True)
     rng = resolve_rng(random_state)
     n_rows, n_cols = x.shape
-    columns = (
-        np.arange(n_cols, dtype=np.int64)
-        if spec.columns is None
-        else np.unique(np.asarray(spec.columns, dtype=np.int64))
-    )
-    if columns.size and (columns.min() < 0 or columns.max() >= n_cols):
-        raise DegenerateDataError(
-            f"columns {columns.tolist()} out of range for {n_cols}-column data"
-        )
-    if columns.size == 0:
-        raise DegenerateDataError("no columns selected for injection")
+    columns = _resolve_columns(spec.columns, n_cols)
     grid_rows, grid_cols = _eligible_cells(n_rows, columns, spec.protect_rows)
     n_inject = int(round(spec.missing_rate * grid_rows.size))
     if n_inject == 0:
         return x, ObservationMask.fully_observed(x.shape)
     sel_rows, sel_cols = _sample_cells(grid_rows, grid_cols, n_inject, n_cols, rng)
+    observed = np.ones(x.shape, dtype=bool)
+    observed[sel_rows, sel_cols] = False
+    x[sel_rows, sel_cols] = 0.0
+    return x, ObservationMask(observed)
+
+
+def inject_missing_mnar(
+    x: np.ndarray,
+    spec: MNARSpec,
+    *,
+    random_state: object = None,
+) -> tuple[np.ndarray, ObservationMask]:
+    """Remove values with value-dependent (MNAR) probability.
+
+    Each eligible cell is weighted ``exp(strength * zscore)`` of its
+    value within its column, then ``missing_rate * n_eligible`` cells
+    are drawn without replacement under those weights - so high values
+    are preferentially hidden while the total injected count matches
+    the MCAR protocol for a like-for-like comparison.  At least one
+    cell per column always stays observed.
+    """
+    x = as_matrix(x, name="x", copy=True)
+    rng = resolve_rng(random_state)
+    n_rows, n_cols = x.shape
+    columns = _resolve_columns(spec.columns, n_cols)
+    grid_rows, grid_cols = _eligible_cells(n_rows, columns, spec.protect_rows)
+    n_inject = int(round(spec.missing_rate * grid_rows.size))
+    if n_inject == 0:
+        return x, ObservationMask.fully_observed(x.shape)
+    values = x[grid_rows, grid_cols]
+    means = x[:, columns].mean(axis=0)
+    stds = np.maximum(x[:, columns].std(axis=0), 1e-12)
+    col_pos = np.searchsorted(columns, grid_cols)
+    zscores = (values - means[col_pos]) / stds[col_pos]
+    # Clip before exponentiation: one extreme outlier must not absorb
+    # the entire probability mass (and exp overflows past ~700).
+    weights = np.exp(np.clip(spec.strength * zscores, -30.0, 30.0))
+    probabilities = weights / weights.sum()
+    sel_rows, sel_cols = _sample_cells(
+        grid_rows, grid_cols, n_inject, n_cols, rng, probabilities=probabilities
+    )
     observed = np.ones(x.shape, dtype=bool)
     observed[sel_rows, sel_cols] = False
     x[sel_rows, sel_cols] = 0.0

@@ -63,6 +63,7 @@ from .trace import (
     collecting_tracer,
     get_tracer,
     set_tracer,
+    timed_call,
     trace_to,
     traced,
     use_tracer,
@@ -95,6 +96,7 @@ __all__ = [
     "render_tree",
     "reset_metrics",
     "set_tracer",
+    "timed_call",
     "to_chrome_trace",
     "trace_to",
     "traced",

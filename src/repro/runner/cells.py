@@ -341,6 +341,85 @@ def _fit_artifact(params: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _bench_sweep(params: dict[str, Any]) -> dict[str, Any]:
+    """One cell of a :mod:`repro.bench` scaling sweep.
+
+    Generates its dataset from a generator spec (``spec`` +
+    ``spec_params`` + ``seed`` - deterministic, so the accuracy half of
+    the payload is cacheable in principle), then times ``repeats``
+    identical fits on the requested ``kernel_path`` and reports the
+    best median per-iteration wall time next to the deterministic
+    quality metrics (rms over the injected cells, final objective) and
+    the generated data's content hash.  Because wall times ride along,
+    sweep grids mark these cells ``volatile`` - never cached, never
+    determinism-checked as a whole.
+    """
+    import numpy as np
+
+    from ..bench.specs import generate
+    from ..core.nmf import MaskedNMF
+    from ..core.smf import SMF
+    from ..core.smfl import SMFL
+    from ..metrics.rms import rms_over_mask
+    from ..obs.trace import get_tracer
+
+    bench = generate(params["spec"], params["spec_params"], seed=params["seed"])
+    model_kind = params.get("model", "smfl")
+    rank = params["spec_params"].get("rank") or min(
+        6, bench.dataset.n_cols - 1, bench.dataset.n_rows
+    )
+    common: dict[str, Any] = dict(
+        max_iter=params["max_iter"],
+        tol=0.0,
+        kernel_path=params.get("kernel_path", "auto"),
+        random_state=params["seed"],
+    )
+
+    def _make(**overrides: Any) -> Any:
+        kwargs = {**common, **overrides}
+        if model_kind == "nmf":
+            return MaskedNMF(rank, **kwargs)
+        if model_kind == "smf":
+            return SMF(rank, n_spatial=bench.dataset.n_spatial, **kwargs)
+        if model_kind == "smfl":
+            return SMFL(rank, n_spatial=bench.dataset.n_spatial, **kwargs)
+        raise ValidationError(f"unknown sweep model {model_kind!r}")
+
+    # Warmup fit absorbs first-touch page faults / BLAS spin-up so the
+    # timed repeats measure steady state.
+    with get_tracer().span("bench_warmup_fit", model=model_kind):
+        _make(max_iter=params.get("warmup_iter", 2)).fit(
+            bench.x_missing, bench.mask
+        )
+
+    best_median = float("inf")
+    model = None
+    report = None
+    for index in range(max(int(params.get("repeats", 3)), 1)):
+        model = _make()
+        with get_tracer().span("bench_fit", model=model_kind, repeat=index):
+            model.fit(bench.x_missing, bench.mask)
+        report = model.fit_report_
+        assert report is not None
+        if report.wall_times:
+            best_median = min(best_median, float(np.median(report.wall_times)))
+    assert model is not None and report is not None
+    rms = rms_over_mask(model.impute(), bench.dataset.values, bench.mask)
+    value = {
+        "rms": float(rms),
+        "final_objective": float(report.final_objective),
+        "n_iter": int(report.n_iter),
+        "median_iteration_seconds": (
+            best_median if best_median != float("inf") else 0.0
+        ),
+        "loop_seconds": float(report.loop_seconds),
+        "setup_seconds": float(report.setup_seconds),
+        "observed_fraction": float(bench.mask.observed_fraction),
+        "data_hash": bench.content_hash(),
+    }
+    return {"value": value, "fit": summarize_fit(report)}
+
+
 CELL_KINDS: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
     "imputation_rms": _imputation_rms,
     "repair_rms": _repair_rms,
@@ -349,6 +428,7 @@ CELL_KINDS: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
     "feature_locations": _feature_locations,
     "timing": _timing,
     "fit_artifact": _fit_artifact,
+    "bench_sweep": _bench_sweep,
 }
 """Cell-function registry; the dispatch key a RunSpec carries."""
 

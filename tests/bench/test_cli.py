@@ -1,0 +1,88 @@
+"""The ``python -m repro.bench`` command line."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.cli import main, parse_grid
+from repro.exceptions import ValidationError
+
+
+class TestParseGrid:
+    def test_typed_axes(self):
+        grid = parse_grid(
+            ["rows=128,256", "rank=4", "missing=0.2,0.5", "kernel_path=auto"]
+        )
+        assert grid == {
+            "rows": [128, 256],
+            "rank": [4],
+            "missing": [0.2, 0.5],
+            "kernel_path": ["auto"],
+        }
+
+    def test_empty_means_defaults(self):
+        assert parse_grid(None) is None
+        assert parse_grid([]) is None
+
+    @pytest.mark.parametrize(
+        ("token", "needle"),
+        [
+            ("rows", "rows"),
+            ("rows=", "rows"),
+            ("depth=3", "depth"),
+            ("rows=abc", "rows"),
+            ("missing=lots", "missing"),
+        ],
+    )
+    def test_bad_tokens_named(self, token, needle):
+        with pytest.raises(ValidationError, match=needle):
+            parse_grid([token])
+
+
+class TestCommands:
+    def test_specs_lists_registry(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        assert "lowrank_landmark" in out and "mnar_strength" in out
+
+    def test_specs_json_is_parseable(self, capsys):
+        assert main(["specs", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "paper" in document
+        params = {p["name"]: p for p in document["paper"]["params"]}
+        assert params["dataset"]["choices"] == [
+            "economic", "farm", "lake", "vehicle"
+        ]
+
+    def test_sweep_writes_and_prints_cells(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_sweep.json"
+        code = main([
+            "sweep",
+            "--grid", "rows=48", "rank=2", "missing=0.4", "kernel_path=auto",
+            "--cols", "6", "--max-iter", "2", "--repeats", "1",
+            "--out", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "rows=48/rank=2/missing=0.4/kernel=auto" in printed
+        assert out.exists()
+
+    def test_sweep_validation_error_exits_2(self, capsys):
+        assert main(["sweep", "--grid", "rows=4"]) == 2
+        assert "rows" in capsys.readouterr().out
+
+    def test_gate_skip_sweep_against_committed_tree(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main([
+            "gate", "--baseline", "results", "--skip-sweep",
+            "--out", str(report_path),
+        ])
+        assert code == 0
+        assert "gate: PASS" in capsys.readouterr().out
+        assert json.loads(report_path.read_text())["passed"] is True
+
+    def test_gate_bad_baseline_dir_exits_1(self, tmp_path, capsys):
+        assert main(["gate", "--baseline", str(tmp_path), "--skip-sweep"]) == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,124 @@
+"""Satellite 2: schema validation of the committed BENCH trajectory."""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.bench import (
+    ACCEPTED_METRICS,
+    BENCH_SCHEMAS,
+    bench_name_from_path,
+    check_metrics,
+    read_bench_json,
+    validate_bench_payload,
+)
+from repro.bench.schema import iter_paths
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "results")
+COMMITTED = sorted(glob.glob(os.path.join(RESULTS_DIR, "BENCH_*.json")))
+EXPECTED_NAMES = (
+    "engine", "kernels", "obs", "runner", "serving", "stochastic", "sweep",
+)
+
+
+class TestCommittedTrajectory:
+    def test_every_expected_baseline_is_committed(self):
+        names = sorted(bench_name_from_path(path) for path in COMMITTED)
+        assert names == sorted(EXPECTED_NAMES)
+
+    @pytest.mark.parametrize(
+        "path", COMMITTED, ids=[os.path.basename(p) for p in COMMITTED]
+    )
+    def test_committed_file_validates(self, path):
+        name = bench_name_from_path(path)
+        assert name in BENCH_SCHEMAS
+        payload = read_bench_json(path)
+        assert validate_bench_payload(name, payload) == []
+
+    @pytest.mark.parametrize(
+        "path", COMMITTED, ids=[os.path.basename(p) for p in COMMITTED]
+    )
+    def test_committed_metrics_inside_contract(self, path):
+        name = bench_name_from_path(path)
+        assert check_metrics(name, read_bench_json(path)) == []
+
+
+class TestValidateBenchPayload:
+    def test_missing_field_named(self):
+        payload = read_bench_json(os.path.join(RESULTS_DIR, "BENCH_stochastic.json"))
+        del payload["rms_ratio"]
+        problems = validate_bench_payload("stochastic", payload)
+        assert any("rms_ratio" in problem for problem in problems)
+
+    def test_wrong_type_named(self):
+        payload = read_bench_json(os.path.join(RESULTS_DIR, "BENCH_runner.json"))
+        payload["n_cells"] = "twelve"
+        problems = validate_bench_payload("runner", payload)
+        assert any("n_cells" in problem and "int" in problem for problem in problems)
+
+    def test_wildcard_expands_over_dict_values(self):
+        payload = read_bench_json(os.path.join(RESULTS_DIR, "BENCH_kernels.json"))
+        rate = next(iter(payload["rates"]))
+        del payload["rates"][rate]["workspace"]["bit_identical"]
+        problems = validate_bench_payload("kernels", payload)
+        assert any(
+            f"rates.{rate}.workspace.bit_identical" in problem
+            for problem in problems
+        )
+
+    def test_list_wildcard_expands_over_items(self):
+        payload = read_bench_json(os.path.join(RESULTS_DIR, "BENCH_sweep.json"))
+        del payload["cells"][1]["metrics"]["rms"]
+        problems = validate_bench_payload("sweep", payload)
+        assert any("cells[1].metrics.rms" in problem for problem in problems)
+
+    def test_spoofed_bench_name_rejected(self):
+        payload = read_bench_json(os.path.join(RESULTS_DIR, "BENCH_obs.json"))
+        payload["bench_name"] = "engine"
+        problems = validate_bench_payload("obs", payload)
+        assert any("bench_name" in problem for problem in problems)
+
+    def test_unknown_name_lists_known(self):
+        problems = validate_bench_payload("nope", {})
+        assert problems and "sweep" in problems[0]
+
+    def test_non_object_payload(self):
+        assert validate_bench_payload("engine", [1, 2]) != []
+
+
+class TestCheckMetrics:
+    def test_perturbed_metric_fails_with_name_and_limit(self):
+        payload = read_bench_json(os.path.join(RESULTS_DIR, "BENCH_stochastic.json"))
+        payload["rms_ratio"] = 1.22  # > the 1.05 contract
+        failures = check_metrics("stochastic", payload)
+        assert any("rms_ratio" in f and "1.05" in f for f in failures)
+
+    def test_min_direction(self):
+        payload = read_bench_json(os.path.join(RESULTS_DIR, "BENCH_serving.json"))
+        payload["batching"]["batched_speedup"] = 1.5  # contract: >= 5x
+        failures = check_metrics("serving", payload)
+        assert any("batched_speedup" in f for f in failures)
+
+    def test_false_acceptance_flag_fails(self):
+        payload = read_bench_json(os.path.join(RESULTS_DIR, "BENCH_kernels.json"))
+        payload["acceptance"]["workspace_bit_identical"] = False
+        failures = check_metrics("kernels", payload)
+        assert any("workspace_bit_identical" in f for f in failures)
+
+    def test_null_flag_skipped(self):
+        payload = read_bench_json(os.path.join(RESULTS_DIR, "BENCH_obs.json"))
+        payload["acceptance"]["disabled_within_2pct_of_baseline"] = None
+        assert check_metrics("obs", payload) == []
+
+    def test_every_accepted_metric_resolves_in_its_baseline(self):
+        # The contract table must not drift away from what writers emit.
+        for name, checks in ACCEPTED_METRICS.items():
+            payload = read_bench_json(
+                os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+            )
+            for check in checks:
+                resolved = list(iter_paths(payload, check.path))
+                assert resolved, (name, check.path)

@@ -1,0 +1,159 @@
+"""The scaling sweep: grid expansion, payload shape, determinism hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    build_sweep_cells,
+    cell_key,
+    generate,
+    read_bench_json,
+    record_sweep,
+    run_sweep,
+    validate_bench_payload,
+)
+from repro.bench.sweep import DEFAULT_GRID, SMOKE_GRID, _DEFAULT_FIXED
+from repro.exceptions import ValidationError
+
+TINY_GRID = {
+    "rows": [64, 96],
+    "rank": [3],
+    "missing": [0.3],
+    "kernel_path": ["reference", "workspace"],
+}
+
+
+class TestBuildSweepCells:
+    def test_grid_expansion_order_and_volatility(self):
+        grid, axes, fixed = build_sweep_cells(TINY_GRID, cols=8, max_iter=3)
+        assert len(grid) == 4
+        assert axes["rows"] == [64, 96]
+        assert fixed["cols"] == 8 and fixed["max_iter"] == 3
+        assert all(spec.volatile for spec in grid.cells)
+        assert all(spec.kind == "bench_sweep" for spec in grid.cells)
+        # rows is the outermost axis, kernel_path the innermost.
+        assert [spec.params["spec_params"]["rows"] for spec in grid.cells] == [
+            64, 64, 96, 96
+        ]
+        assert [spec.params["kernel_path"] for spec in grid.cells] == [
+            "reference", "workspace", "reference", "workspace"
+        ]
+
+    def test_params_are_validated_up_front(self):
+        with pytest.raises(ValidationError, match="rank"):
+            build_sweep_cells({"rows": [8], "rank": [600]})
+
+    def test_unknown_axis_named(self):
+        with pytest.raises(ValidationError, match="depth"):
+            build_sweep_cells({"depth": [2]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValidationError, match="rows"):
+            build_sweep_cells({"rows": []})
+
+    def test_unknown_model_and_option_named(self):
+        with pytest.raises(ValidationError, match="svd"):
+            build_sweep_cells(model="svd")
+        with pytest.raises(ValidationError, match="colour"):
+            build_sweep_cells(colour=3)
+
+    def test_smoke_and_full_defaults_differ(self):
+        smoke_grid, smoke_axes, _ = build_sweep_cells(smoke=True)
+        full_grid, full_axes, _ = build_sweep_cells(smoke=False)
+        assert smoke_axes["rows"] == list(SMOKE_GRID["rows"])
+        assert full_axes["rows"] == list(DEFAULT_GRID["rows"])
+        assert len(full_grid) > len(smoke_grid)
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def tiny_payload(self):
+        return run_sweep(TINY_GRID, cols=8, max_iter=3, repeats=1, warmup_iter=1)
+
+    def test_payload_validates_against_sweep_schema(self, tiny_payload):
+        assert validate_bench_payload(
+            "sweep", tiny_payload, require_envelope=False
+        ) == []
+
+    def test_cell_keys_unique_and_canonical(self, tiny_payload):
+        keys = [cell["key"] for cell in tiny_payload["cells"]]
+        assert len(set(keys)) == len(keys) == tiny_payload["n_cells"] == 4
+        assert keys[0] == "rows=64/rank=3/missing=0.3/kernel=reference"
+        assert keys[0] == cell_key(
+            {"rows": 64, "rank": 3, "missing": 0.3, "kernel_path": "reference"}
+        )
+
+    def test_data_hash_matches_regenerated_dataset(self, tiny_payload):
+        cell = tiny_payload["cells"][0]
+        regenerated = generate(
+            tiny_payload["spec"], cell["params"], seed=tiny_payload["fixed"]["seed"]
+        )
+        assert cell["data_hash"] == regenerated.content_hash()
+
+    def test_metrics_shape(self, tiny_payload):
+        for cell in tiny_payload["cells"]:
+            metrics = cell["metrics"]
+            assert metrics["n_iter"] == 3
+            assert metrics["median_iteration_seconds"] > 0.0
+            assert 0.0 < metrics["observed_fraction"] < 1.0
+            assert metrics["rms"] >= 0.0
+
+    def test_same_config_same_quality_metrics(self, tiny_payload):
+        again = run_sweep(TINY_GRID, cols=8, max_iter=3, repeats=1, warmup_iter=1)
+        for before, after in zip(tiny_payload["cells"], again["cells"]):
+            assert before["data_hash"] == after["data_hash"]
+            assert before["metrics"]["rms"] == after["metrics"]["rms"]
+            assert (
+                before["metrics"]["final_objective"]
+                == after["metrics"]["final_objective"]
+            )
+
+    def test_record_sweep_writes_envelope(self, tmp_path):
+        path = str(tmp_path / "BENCH_sweep.json")
+        record_sweep(
+            path=path,
+            grid={"rows": [48], "rank": [2], "missing": [0.4],
+                  "kernel_path": ["auto"]},
+            cols=6, max_iter=2, repeats=1, warmup_iter=1,
+        )
+        on_disk = read_bench_json(path)
+        assert on_disk["bench_name"] == "sweep"
+        assert validate_bench_payload("sweep", on_disk) == []
+        assert on_disk["fixed"]["repeats"] == 1
+        assert on_disk["fixed"]["max_iter"] == 2
+
+
+class TestCellKinds:
+    def test_bench_sweep_cell_registered(self):
+        from repro.runner import CELL_KINDS
+
+        assert "bench_sweep" in CELL_KINDS
+
+    def test_bench_sweep_cell_rejects_unknown_model(self):
+        from repro.runner import run_cell
+
+        with pytest.raises(ValidationError, match="model"):
+            run_cell(
+                "bench_sweep",
+                {
+                    "spec": "lowrank_landmark",
+                    "spec_params": {"rows": 16, "cols": 6, "rank": 2},
+                    "seed": 0,
+                    "model": "pca",
+                    "max_iter": 2,
+                },
+            )
+
+
+@pytest.mark.slow
+class TestFullScaleSweep:
+    def test_default_grid_runs_and_validates(self):
+        payload = run_sweep(smoke=False, repeats=2)
+        assert payload["n_cells"] == (
+            len(DEFAULT_GRID["rows"]) * len(DEFAULT_GRID["rank"])
+            * len(DEFAULT_GRID["missing"]) * len(DEFAULT_GRID["kernel_path"])
+        )
+        assert validate_bench_payload("sweep", payload, require_envelope=False) == []
+        assert payload["fixed"]["repeats"] == 2
+        assert payload["fixed"]["max_iter"] == _DEFAULT_FIXED["max_iter"]

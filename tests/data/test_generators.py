@@ -79,3 +79,53 @@ class TestVehicleSemantics:
         elevation = data.values[:, data.column_names.index("elevation")]
         corr = np.corrcoef(lon, elevation)[0, 1]
         assert corr < -0.2
+
+
+class TestPlantedLowRank:
+    def _make(self, **kwargs):
+        from repro.data import make_planted_lowrank
+
+        defaults = dict(n_rows=120, n_cols=10, rank=4, random_state=0)
+        defaults.update(kwargs)
+        return make_planted_lowrank(**defaults)
+
+    def test_shape_and_columns(self):
+        dataset = self._make()
+        assert dataset.values.shape == (120, 10)
+        assert list(dataset.spatial_columns) == [0, 1]
+        assert list(dataset.attribute_columns) == list(range(2, 10))
+
+    def test_parametric_in_every_dimension(self):
+        dataset = self._make(n_rows=64, n_cols=5, rank=2)
+        assert dataset.values.shape == (64, 5)
+
+    def test_deterministic_and_seed_sensitive(self):
+        first = self._make()
+        second = self._make()
+        np.testing.assert_array_equal(first.values, second.values)
+        other = self._make(random_state=1)
+        assert not np.array_equal(first.values, other.values)
+
+    def test_accepts_generator_instance(self):
+        seeded = self._make(random_state=np.random.default_rng(9))
+        again = self._make(random_state=np.random.default_rng(9))
+        np.testing.assert_array_equal(seeded.values, again.values)
+
+    def test_planted_rank_dominates_spectrum(self):
+        # With zero noise the attribute block is exactly rank K.
+        dataset = self._make(n_rows=200, n_cols=12, rank=3, noise=0.0)
+        attrs = dataset.values[:, dataset.attribute_columns]
+        singular = np.linalg.svd(attrs, compute_uv=False)
+        assert singular[3] < 1e-8 * singular[0]
+
+    def test_nonnegative_finite_and_in_unit_square(self):
+        dataset = self._make(noise=0.3)
+        assert np.isfinite(dataset.values).all()
+        assert (dataset.values >= 0.0).all()
+        spatial = dataset.values[:, dataset.spatial_columns]
+        assert spatial.min() >= 0.0 and spatial.max() <= 1.0
+
+    def test_rows_cluster_around_landmarks(self):
+        dataset = self._make(n_rows=300, rank=5)
+        labels = dataset.labels
+        assert labels is not None and set(labels) == set(range(5))

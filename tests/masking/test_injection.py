@@ -127,3 +127,55 @@ class TestInjectErrors:
         b, m2 = inject_errors(base_matrix, ErrorSpec(error_rate=0.1), random_state=9)
         assert np.array_equal(a, b)
         assert np.array_equal(m1.observed, m2.observed)
+
+
+class TestMNARInjection:
+    def _inject(self, matrix, **kwargs):
+        from repro.masking import MNARSpec, inject_missing_mnar
+
+        defaults = dict(missing_rate=0.3, strength=4.0)
+        defaults.update(kwargs)
+        return inject_missing_mnar(
+            matrix, MNARSpec(**defaults), random_state=0
+        )
+
+    def test_rate_and_zeroing(self, base_matrix):
+        corrupted, mask = self._inject(base_matrix)
+        removed = base_matrix.size - mask.observed.sum()
+        assert removed == int(round(base_matrix.size * 0.3))
+        assert np.all(corrupted[~mask.observed] == 0.0)
+        np.testing.assert_array_equal(
+            corrupted[mask.observed], base_matrix[mask.observed]
+        )
+
+    def test_bias_prefers_large_values(self, base_matrix):
+        _, mask = self._inject(base_matrix, strength=6.0)
+        assert base_matrix[~mask.observed].mean() > base_matrix[mask.observed].mean()
+
+    def test_zero_strength_is_unbiased_sampling(self, base_matrix):
+        # strength=0 collapses the weights to uniform - MCAR by another name.
+        _, mask = self._inject(base_matrix, strength=0.0)
+        removed_mean = base_matrix[~mask.observed].mean()
+        kept_mean = base_matrix[mask.observed].mean()
+        assert abs(removed_mean - kept_mean) < 0.15
+
+    def test_deterministic(self, base_matrix):
+        _, first = self._inject(base_matrix)
+        _, second = self._inject(base_matrix)
+        np.testing.assert_array_equal(first.observed, second.observed)
+
+    def test_input_not_mutated(self, base_matrix):
+        snapshot = base_matrix.copy()
+        self._inject(base_matrix)
+        np.testing.assert_array_equal(base_matrix, snapshot)
+
+    def test_negative_strength_rejected(self):
+        from repro.masking import MNARSpec
+
+        with pytest.raises(ValidationError):
+            MNARSpec(missing_rate=0.3, strength=-1.0)
+
+    def test_column_restriction(self, base_matrix):
+        _, mask = self._inject(base_matrix, columns=[2, 3])
+        untouched = np.delete(mask.observed, [2, 3], axis=1)
+        assert untouched.all()

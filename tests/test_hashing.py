@@ -87,3 +87,24 @@ class TestConsumersShareTheRules:
         info = save_model(model, str(tmp_path / "m"))
         manual = content_hash(_hashed_metadata(model), _model_arrays(model))
         assert info["content_hash"] == manual
+
+
+class TestPayloadDigest:
+    def test_matches_manual_composition(self):
+        from repro.hashing import canonical_json, payload_digest, sha256_text
+
+        payload = {"b": [1, 2], "a": {"x": 0.5}}
+        assert payload_digest(payload) == sha256_text(canonical_json(payload))
+
+    def test_key_order_independent(self):
+        from repro.hashing import payload_digest
+
+        assert payload_digest({"a": 1, "b": 2}) == payload_digest({"b": 2, "a": 1})
+        assert payload_digest({"a": 1}) != payload_digest({"a": 2})
+
+    def test_digest_head_prefix(self):
+        from repro.hashing import digest_head, payload_digest
+
+        digest = payload_digest({"a": 1})
+        assert digest_head(digest) == digest[:12]
+        assert digest_head(digest, 4) == digest[:4]
