@@ -113,6 +113,33 @@ BENCH_SCHEMAS: dict[str, tuple[tuple[str, str], ...]] = {
         ("acceptance.foldin_rms_within_5pct_of_refit", "bool"),
         ("acceptance.batched_ge_5x_row_loop", "bool"),
     ),
+    "oocore": (
+        ("spec", "str"),
+        ("cols", "int"),
+        ("rank", "int"),
+        ("block_rows", "int"),
+        ("epochs", "int"),
+        ("jobs", "int"),
+        ("curve", "list"),
+        ("curve.[].rows", "int"),
+        ("curve.[].peak_rss_bytes", "int"),
+        ("curve.[].dense_bytes", "int"),
+        ("curve.[].fit_seconds", "number"),
+        ("curve.[].final_sampled_objective", "number"),
+        ("curve.[].landmark_block_intact", "bool"),
+        ("peak_rss_growth_bytes", "int"),
+        ("dense_growth_bytes", "int"),
+        ("equivalence.rows", "int"),
+        ("equivalence.serial_bit_exact", "bool"),
+        ("equivalence.objective_ratio", "number"),
+        ("equivalence.parallel_jobs", "int"),
+        ("equivalence.parallel_max_rel_deviation", "number"),
+        ("acceptance", "dict"),
+        ("acceptance.serial_matches_incore_bit_exact", "bool"),
+        ("acceptance.parallel_deviation_within_tolerance", "bool"),
+        ("acceptance.bounded_peak_memory", "bool"),
+        ("acceptance.landmark_block_intact", "bool"),
+    ),
     "sweep": (
         ("sweep_schema_version", "int"),
         ("spec", "str"),
@@ -169,6 +196,11 @@ ACCEPTED_METRICS: dict[str, tuple[MetricCheck, ...]] = {
     "serving": (
         MetricCheck("accuracy.rms_ratio", "max", 1.05),
         MetricCheck("batching.batched_speedup", "min", 5.0),
+        MetricCheck("acceptance.*", "flag"),
+    ),
+    "oocore": (
+        MetricCheck("equivalence.objective_ratio", "max", 1.05),
+        MetricCheck("equivalence.parallel_max_rel_deviation", "max", 0.05),
         MetricCheck("acceptance.*", "flag"),
     ),
 }

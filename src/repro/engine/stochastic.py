@@ -52,6 +52,9 @@ __all__ = [
     "StochasticWorkspace",
     "SGDKernel",
     "SVRGKernel",
+    "gathered_batch_u_step",
+    "sgd_grad_v",
+    "apply_v_step",
 ]
 
 DEFAULT_BATCH_SIZE = 64
@@ -236,6 +239,101 @@ def _step_v(
     v[...] = updated
 
 
+def gathered_batch_u_step(
+    workspace: StochasticWorkspace,
+    u_rows: np.ndarray,
+    x_rows: np.ndarray,
+    observed_rows: np.ndarray,
+    unobserved_rows: np.ndarray,
+    v: np.ndarray,
+    lr: float,
+    cap: int,
+    lap_term: np.ndarray | None = None,
+) -> tuple[np.ndarray, float]:
+    """The batch U-step math on pre-gathered row buffers.
+
+    This is the bit-exact seam the in-core kernels and the out-of-core
+    streaming path (:mod:`repro.oocore`) share: both gather their batch
+    rows into the same workspace buffer layout and then run this exact
+    operation sequence, so a sharded fit reduces to the in-core one
+    bit-for-bit when the schedules align.
+
+    Takes the projected step on ``u_rows`` in place and refreshes the
+    masked residual at the updated rows.  ``lap_term`` is the
+    pre-scaled spatial gradient block ``2 lam (L U)_B`` (``None`` when
+    the graph term is off).  Returns ``(residual, sq)``: the refreshed
+    residual buffer view and the pre-step squared-residual contribution
+    to the epoch's sampled objective.
+    """
+    rows, k = u_rows.shape
+    m = x_rows.shape[1]
+    buffer = workspace.residual_buffer(rows, m)
+    residual = _masked_residual(
+        buffer, u_rows, v, x_rows, observed_rows, unobserved_rows
+    )
+    sq = float(np.vdot(residual, residual))
+    # grad_U = 2 R_B V^T (+ 2 lam (L U)_B): scale the residual first,
+    # exactly as the reference's ``2.0 * residual @ v.T`` binds.
+    residual *= 2.0
+    grad_u = workspace.buf("grad_u", (cap, k))[:rows]
+    np.matmul(residual, v.T, out=grad_u)
+    if lap_term is not None:
+        grad_u += lap_term
+    grad_u *= lr
+    np.subtract(u_rows, grad_u, out=u_rows)
+    np.maximum(u_rows, 0.0, out=u_rows)
+    # V sees the refreshed residual at the updated batch rows — the
+    # same U-then-V sequencing as the full-batch kernels.
+    residual = _masked_residual(
+        buffer, u_rows, v, x_rows, observed_rows, unobserved_rows
+    )
+    return residual, sq
+
+
+def sgd_grad_v(
+    workspace: StochasticWorkspace,
+    u_rows: np.ndarray,
+    residual: np.ndarray,
+    live: slice,
+    scale: float,
+    cap: int,
+    m: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """The SGD V-gradient on the live columns, allocation-free.
+
+    Scales ``u_rows`` into a C buffer and hands its transpose (an
+    F-contiguous view) to the gemm — the exact operand layout of the
+    reference's ``scale * u_rows.T @ residual[:, live]``, so callers on
+    both the in-core and streaming paths produce bit-identical
+    gradients.  ``out`` redirects the gemm into a caller-owned buffer
+    (the parallel workers write into shared memory); ``None`` uses the
+    workspace's named slot.
+    """
+    rows, k = u_rows.shape
+    u_scaled = workspace.buf("u_rows_scaled", (cap, k))[:rows]
+    np.multiply(u_rows, scale, out=u_scaled)
+    grad_v = workspace.buf("grad_v", (k, m - live.start)) if out is None else out
+    np.matmul(u_scaled.T, residual[:, live], out=grad_v)
+    return grad_v
+
+
+def apply_v_step(
+    v: np.ndarray,
+    grad_v: np.ndarray,
+    lr: float,
+    live: slice,
+    workspace: StochasticWorkspace,
+) -> None:
+    """Projected V step on the live columns (landmark prefix frozen).
+
+    The prefix-layout arm of :func:`_step_v`, exposed for callers that
+    never carry a general frozen mask (the streaming/parallel paths);
+    ``grad_v`` is consumed as scratch.
+    """
+    _step_v(v, grad_v, lr, None, live, workspace)
+
+
 def _batch_u_step(
     x_observed: np.ndarray,
     observed: np.ndarray,
@@ -250,10 +348,10 @@ def _batch_u_step(
     """Per-batch U work shared by SGD and SVRG, allocation-free.
 
     Gathers the batch rows into reused buffers, takes the projected
-    step on ``U_B`` (scattering back into ``u``), and refreshes the
-    masked residual at the updated rows — the same U-then-V sequencing
-    and operation order as the previous allocating implementation, so
-    the results are bit-identical.
+    step on ``U_B`` via :func:`gathered_batch_u_step` (scattering back
+    into ``u``), and refreshes the masked residual at the updated rows
+    — the same U-then-V sequencing and operation order as the previous
+    allocating implementation, so the results are bit-identical.
 
     Returns ``(u_rows, residual, sq)``: buffer views of the updated
     batch rows and their residual, plus the pre-step squared-residual
@@ -270,29 +368,17 @@ def _batch_u_step(
     np.take(observed, batch, axis=0, out=observed_rows)
     np.logical_not(observed_rows, out=unobserved_rows)
     np.take(u, batch, axis=0, out=u_rows)
-    buffer = workspace.residual_buffer(rows, m)
-    residual = _masked_residual(
-        buffer, u_rows, v, x_rows, observed_rows, unobserved_rows
-    )
-    sq = float(np.vdot(residual, residual))
-    # grad_U = 2 R_B V^T (+ 2 lam (L U)_B): scale the residual first,
-    # exactly as the reference's ``2.0 * residual @ v.T`` binds.
-    residual *= 2.0
-    grad_u = workspace.buf("grad_u", (cap, k))[:rows]
-    np.matmul(residual, v.T, out=grad_u)
+    lap_term = None
     if ctx.lam != 0.0 and ctx.laplacian is not None:
-        t = _laplacian_rows(ctx, u, batch)
-        t *= 2.0 * ctx.lam
-        grad_u += t
-    grad_u *= lr
-    np.subtract(u_rows, grad_u, out=u_rows)
-    np.maximum(u_rows, 0.0, out=u_rows)
-    u[batch] = u_rows
-    # V sees the refreshed residual at the updated batch rows — the
-    # same U-then-V sequencing as the full-batch kernels.
-    residual = _masked_residual(
-        buffer, u_rows, v, x_rows, observed_rows, unobserved_rows
+        # Reads the pre-step rows of ``u`` (the scatter below has not
+        # happened yet), exactly as the previous inline computation.
+        lap_term = _laplacian_rows(ctx, u, batch)
+        lap_term *= 2.0 * ctx.lam
+    residual, sq = gathered_batch_u_step(
+        workspace, u_rows, x_rows, observed_rows, unobserved_rows, v,
+        lr, cap, lap_term,
     )
+    u[batch] = u_rows
     return u_rows, residual, sq
 
 
@@ -340,7 +426,6 @@ class SGDKernel(UpdateKernel):
     ) -> tuple[np.ndarray, np.ndarray]:
         scheduler, workspace = _require_schedule(ctx, "sgd")
         n, m = x_observed.shape
-        k = u.shape[1]
         cap = scheduler.batch_size
         lr = scheduler.step_size(workspace.epoch)
         live = _live_slice(ctx, v.shape[1])
@@ -360,13 +445,9 @@ class SGDKernel(UpdateKernel):
             sampled += sq
             scale = 2.0 * n / rows
             if live is not None:
-                # Scale into a C buffer and hand its transpose (an
-                # F-contiguous view) to the gemm — the exact operand
-                # layout of the reference's ``scale * u_rows.T @ ...``.
-                u_scaled = workspace.buf("u_rows_scaled", (cap, k))[:rows]
-                np.multiply(u_rows, scale, out=u_scaled)
-                grad_v = workspace.buf("grad_v", (k, m - live.start))
-                np.matmul(u_scaled.T, residual[:, live], out=grad_v)
+                grad_v = sgd_grad_v(
+                    workspace, u_rows, residual, live, scale, cap, m
+                )
                 _step_v(v, grad_v, lr, ctx, live, workspace)
             else:
                 grad_v = scale * u_rows.T @ residual

@@ -857,6 +857,22 @@ if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
         "results/BENCH_serving.json by default; see --out)",
     )
     parser.add_argument(
+        "--oocore",
+        action="store_true",
+        help="run the out-of-core sharded-fit benchmark - "
+        "rows-vs-peak-RSS scaling curve plus sharded-vs-in-core "
+        "equivalence checks (writes results/BENCH_oocore.json by "
+        "default; see --out, --jobs)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="with --oocore: worker processes for the parallel "
+        "scaling/equivalence runs (default 4)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="with --kernels/--serving: tiny shapes and short fits "
@@ -933,6 +949,34 @@ if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
                 f"imputations/s, latency p50 "
                 f"{serving['latency_p50_seconds']:.3e}s / p99 "
                 f"{serving['latency_p99_seconds']:.3e}s"
+            )
+            print(f"acceptance: {recorded['acceptance']}")
+            if cli_args.check and not all(recorded["acceptance"].values()):
+                exit_code = 1
+        elif cli_args.oocore:
+            from ..oocore.benchmark import record_oocore_baseline
+
+            recorded = record_oocore_baseline(
+                path=cli_args.out or "results/BENCH_oocore.json",
+                smoke=cli_args.smoke,
+                jobs=cli_args.jobs,
+            )
+            for point in recorded["curve"]:
+                print(
+                    f"rows={point['rows']}: peak RSS "
+                    f"{point['peak_rss_bytes'] / 1e6:.1f}MB "
+                    f"(dense floor {point['dense_bytes'] / 1e6:.1f}MB), "
+                    f"fit {point['fit_seconds']:.2f}s, "
+                    f"objective/row {point['objective_per_row']:.3e}"
+                )
+            equivalence = recorded["equivalence"]
+            print(
+                f"equivalence at rows={equivalence['rows']}: serial "
+                f"bit-exact={equivalence['serial_bit_exact']}, "
+                f"objective ratio {equivalence['objective_ratio']:.4f}, "
+                f"jobs={equivalence['parallel_jobs']} deviation "
+                f"{equivalence['parallel_max_rel_deviation']:.2e} "
+                f"(tolerance {recorded['parallel_deviation_tolerance']})"
             )
             print(f"acceptance: {recorded['acceptance']}")
             if cli_args.check and not all(recorded["acceptance"].values()):

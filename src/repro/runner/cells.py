@@ -420,6 +420,63 @@ def _bench_sweep(params: dict[str, Any]) -> dict[str, Any]:
     return {"value": value, "fit": summarize_fit(report)}
 
 
+def _oocore_fit(params: dict[str, Any]) -> dict[str, Any]:
+    """Fit a generator-spec dataset through the out-of-core streaming path.
+
+    Streams the dataset block-by-block through
+    :func:`repro.oocore.fit_oocore` at ``jobs=1`` (the bit-deterministic
+    serial path), freezing the k-means landmark prefix exactly as the
+    in-core SMFL fit would.  The value is the final sampled objective;
+    the factor hash rides along so grids can determinism-check the fit
+    end to end.
+    """
+    import hashlib
+
+    import numpy as np
+
+    from ..core.landmarks import kmeans_landmarks
+    from ..oocore import GeneratorBlockSource, fit_oocore, streaming_init
+
+    seed = params["seed"]
+    rank = params["spec_params"]["rank"]
+    n_spatial = int(params.get("n_spatial", 2))
+    source = GeneratorBlockSource(
+        params["spec"],
+        params["spec_params"],
+        seed=seed,
+        block_rows=int(params.get("block_rows", 4096)),
+    )
+    u0, v0 = streaming_init(source, rank, random_state=seed)
+    block0 = source.block(0)
+    landmarks = kmeans_landmarks(
+        block0.x_observed[:, :n_spatial],
+        rank,
+        observed=block0.observed[:, :n_spatial],
+        random_state=seed,
+    )
+    v0 = landmarks.inject(v0)
+    result = fit_oocore(
+        source,
+        v0,
+        u0,
+        epochs=int(params.get("epochs", 3)),
+        jobs=1,
+        frozen_prefix=n_spatial,
+        shuffle=bool(params.get("shuffle", True)),
+        seed=seed,
+        learning_rate=float(params.get("learning_rate", 1e-3)),
+    )
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(result.u).tobytes())
+    digest.update(np.ascontiguousarray(result.v).tobytes())
+    return {
+        "value": float(result.sampled_objectives[-1]),
+        "factor_hash": digest.hexdigest(),
+        "landmark_block_intact": bool(result.landmark_block_intact),
+        "epochs": result.epochs,
+    }
+
+
 CELL_KINDS: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
     "imputation_rms": _imputation_rms,
     "repair_rms": _repair_rms,
@@ -429,6 +486,7 @@ CELL_KINDS: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
     "timing": _timing,
     "fit_artifact": _fit_artifact,
     "bench_sweep": _bench_sweep,
+    "oocore_fit": _oocore_fit,
 }
 """Cell-function registry; the dispatch key a RunSpec carries."""
 

@@ -20,7 +20,8 @@ from repro.bench.schema import iter_paths
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "results")
 COMMITTED = sorted(glob.glob(os.path.join(RESULTS_DIR, "BENCH_*.json")))
 EXPECTED_NAMES = (
-    "engine", "kernels", "obs", "runner", "serving", "stochastic", "sweep",
+    "engine", "kernels", "obs", "oocore", "runner", "serving", "stochastic",
+    "sweep",
 )
 
 

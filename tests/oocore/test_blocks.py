@@ -1,0 +1,189 @@
+"""Row-block source contract: slicing, validation, and pickling."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.oocore import (
+    ArrayBlockSource,
+    GeneratorBlockSource,
+    MemmapBlockSource,
+    RowBlock,
+    block_order,
+)
+
+
+@pytest.fixture
+def matrix(rng) -> tuple[np.ndarray, np.ndarray]:
+    x = rng.random((100, 7))
+    observed = rng.random((100, 7)) > 0.3
+    x_observed = np.where(observed, x, 0.0)
+    return x_observed, observed
+
+
+class TestRowBlock:
+    def test_rows_property(self, matrix):
+        x_observed, observed = matrix
+        block = RowBlock(0, 0, 100, x_observed, observed)
+        assert block.rows == 100
+
+    def test_stop_before_start_names_field(self, matrix):
+        x_observed, observed = matrix
+        with pytest.raises(ValidationError, match="stop"):
+            RowBlock(0, 50, 10, x_observed[:40], observed[:40])
+
+    def test_wrong_dtype_names_x_observed(self, matrix):
+        x_observed, observed = matrix
+        with pytest.raises(ValidationError, match="x_observed"):
+            RowBlock(0, 0, 100, x_observed.astype(np.float32), observed)
+
+    def test_shape_mismatch_names_observed(self, matrix):
+        x_observed, observed = matrix
+        with pytest.raises(ValidationError, match="observed"):
+            RowBlock(0, 0, 100, x_observed, observed[:, :5])
+
+    def test_mask_dtype_names_observed(self, matrix):
+        x_observed, observed = matrix
+        with pytest.raises(ValidationError, match="observed"):
+            RowBlock(0, 0, 100, x_observed, observed.astype(np.int8))
+
+
+class TestArrayBlockSource:
+    def test_blocks_tile_the_matrix(self, matrix):
+        x_observed, observed = matrix
+        source = ArrayBlockSource(x_observed, observed, block_rows=32)
+        assert source.n_blocks == 4
+        seen = [source.block(i) for i in range(source.n_blocks)]
+        np.testing.assert_array_equal(
+            np.vstack([b.x_observed for b in seen]), x_observed
+        )
+        np.testing.assert_array_equal(np.vstack([b.observed for b in seen]), observed)
+        assert [b.start for b in seen] == [0, 32, 64, 96]
+        assert seen[-1].stop == 100
+
+    def test_iter_matches_indexed_access(self, matrix):
+        x_observed, observed = matrix
+        source = ArrayBlockSource(x_observed, observed, block_rows=40)
+        for i, block in enumerate(source):
+            assert block.index == i
+            np.testing.assert_array_equal(block.x_observed, source.block(i).x_observed)
+
+    def test_out_of_range_index_raises(self, matrix):
+        x_observed, observed = matrix
+        source = ArrayBlockSource(x_observed, observed, block_rows=32)
+        with pytest.raises(ValidationError, match="block index"):
+            source.block(4)
+        with pytest.raises(ValidationError, match="block index"):
+            source.block(-1)
+
+
+class TestMemmapBlockSource:
+    def test_matches_array_source_bit_exactly(self, matrix, tmp_path):
+        x_observed, observed = matrix
+        data_path = tmp_path / "data.npy"
+        mask_path = tmp_path / "mask.npy"
+        np.save(data_path, x_observed)
+        np.save(mask_path, observed)
+        mm = MemmapBlockSource(data_path, mask_path, block_rows=16)
+        arr = ArrayBlockSource(x_observed, observed, block_rows=16)
+        assert mm.n_blocks == arr.n_blocks
+        for i in range(mm.n_blocks):
+            np.testing.assert_array_equal(mm.block(i).x_observed, arr.block(i).x_observed)
+            np.testing.assert_array_equal(mm.block(i).observed, arr.block(i).observed)
+
+    def test_zeroes_unobserved_cells(self, matrix, tmp_path):
+        x_observed, observed = matrix
+        dirty = x_observed + np.where(observed, 0.0, 123.0)
+        np.save(tmp_path / "data.npy", dirty)
+        np.save(tmp_path / "mask.npy", observed)
+        source = MemmapBlockSource(tmp_path / "data.npy", tmp_path / "mask.npy", block_rows=50)
+        for block in source:
+            assert np.all(block.x_observed[~block.observed] == 0.0)
+
+    def test_wrong_data_dtype_names_field(self, matrix, tmp_path):
+        x_observed, observed = matrix
+        np.save(tmp_path / "data.npy", x_observed.astype(np.float32))
+        np.save(tmp_path / "mask.npy", observed)
+        with pytest.raises(ValidationError, match="data"):
+            MemmapBlockSource(tmp_path / "data.npy", tmp_path / "mask.npy", block_rows=50)
+
+    def test_wrong_mask_shape_names_field(self, matrix, tmp_path):
+        x_observed, observed = matrix
+        np.save(tmp_path / "data.npy", x_observed)
+        np.save(tmp_path / "mask.npy", observed[:, :5])
+        with pytest.raises(ValidationError, match="mask"):
+            MemmapBlockSource(tmp_path / "data.npy", tmp_path / "mask.npy", block_rows=50)
+
+    def test_pickle_roundtrip_reopens_the_files(self, matrix, tmp_path):
+        x_observed, observed = matrix
+        np.save(tmp_path / "data.npy", x_observed)
+        np.save(tmp_path / "mask.npy", observed)
+        source = MemmapBlockSource(tmp_path / "data.npy", tmp_path / "mask.npy", block_rows=30)
+        clone = pickle.loads(pickle.dumps(source))
+        for i in range(source.n_blocks):
+            np.testing.assert_array_equal(
+                clone.block(i).x_observed, source.block(i).x_observed
+            )
+
+
+class TestGeneratorBlockSource:
+    def test_blocks_are_deterministic(self):
+        a = GeneratorBlockSource(
+            "lowrank_landmark", {"rows": 64, "cols": 9, "rank": 3}, seed=7, block_rows=16
+        )
+        b = GeneratorBlockSource(
+            "lowrank_landmark", {"rows": 64, "cols": 9, "rank": 3}, seed=7, block_rows=16
+        )
+        for i in range(a.n_blocks):
+            np.testing.assert_array_equal(a.block(i).x_observed, b.block(i).x_observed)
+            np.testing.assert_array_equal(a.block(i).observed, b.block(i).observed)
+
+    def test_different_blocks_differ(self):
+        source = GeneratorBlockSource(
+            "lowrank_landmark", {"rows": 64, "cols": 9, "rank": 3}, seed=7, block_rows=32
+        )
+        assert not np.array_equal(source.block(0).x_observed, source.block(1).x_observed)
+
+    def test_requires_rows_param(self):
+        with pytest.raises(ValidationError, match="rows"):
+            GeneratorBlockSource("lowrank_landmark", {"cols": 9, "rank": 3}, seed=0)
+
+    def test_pickle_roundtrip_is_bit_exact(self):
+        source = GeneratorBlockSource(
+            "lowrank_landmark", {"rows": 48, "cols": 9, "rank": 3}, seed=3, block_rows=16
+        )
+        clone = pickle.loads(pickle.dumps(source))
+        for i in range(source.n_blocks):
+            np.testing.assert_array_equal(
+                clone.block(i).x_observed, source.block(i).x_observed
+            )
+
+
+class TestBlockOrder:
+    def test_depends_on_all_key_parts(self):
+        base = block_order(50, seed=1, epoch=0, block_index=0, shuffle=True)
+        assert not np.array_equal(
+            base, block_order(50, seed=2, epoch=0, block_index=0, shuffle=True)
+        )
+        assert not np.array_equal(
+            base, block_order(50, seed=1, epoch=1, block_index=0, shuffle=True)
+        )
+        assert not np.array_equal(
+            base, block_order(50, seed=1, epoch=0, block_index=1, shuffle=True)
+        )
+        np.testing.assert_array_equal(
+            base, block_order(50, seed=1, epoch=0, block_index=0, shuffle=True)
+        )
+
+    def test_unshuffled_is_identity(self):
+        np.testing.assert_array_equal(
+            block_order(10, seed=5, epoch=2, block_index=3, shuffle=False), np.arange(10)
+        )
+
+    def test_is_a_permutation(self):
+        order = block_order(33, seed=9, epoch=1, block_index=2, shuffle=True)
+        np.testing.assert_array_equal(np.sort(order), np.arange(33))

@@ -1,0 +1,175 @@
+"""Equivalence contract: sharded streaming reduces to the in-core fit.
+
+The out-of-core path is only trustworthy if it is *provably the same
+algorithm* as the in-core stochastic fit.  Three layers of that claim:
+
+1. With ``shuffle=False`` and block-aligned batches, the streaming
+   factorizer reproduces the in-core SGD fit **bit-exactly** — factors
+   and telemetry.
+2. ``fit_oocore(jobs=1)`` is the serial streaming path, bit-exactly.
+3. ``jobs=N`` differs only through within-round V staleness, bounded by
+   the pinned tolerance the benchmark ratchets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.specs import generate
+from repro.core.initialization import init_factors
+from repro.core.smfl import SMFL
+from repro.oocore import (
+    ArrayBlockSource,
+    GeneratorBlockSource,
+    StreamingFactorizer,
+    fit_oocore,
+    fit_parallel,
+    streaming_init,
+)
+from repro.oocore.benchmark import PARALLEL_DEVIATION_TOLERANCE
+
+COLS, RANK = 9, 4
+
+
+def _problem(rows: int, seed: int):
+    bench = generate("lowrank_landmark", {"rows": rows, "cols": COLS, "rank": RANK}, seed=seed)
+    x_observed = bench.mask.project(np.nan_to_num(bench.x_missing))
+    return bench, x_observed, bench.mask.observed
+
+
+def _incore(bench, *, epochs: int, batch_size: int, seed: int, shuffle: bool, lr: float = 1e-3):
+    model = SMFL(
+        rank=RANK, lam=0.0, method="stochastic", batch_size=batch_size,
+        learning_rate=lr, tol=0.0, max_iter=epochs, random_state=seed, shuffle=shuffle,
+    )
+    # x_missing stores injected cells as 0.0 (not NaN) for this spec, so
+    # the mask MUST ride along or the fit would treat them as observed.
+    model.fit(bench.x_missing, bench.mask)
+    return model
+
+
+class TestSerialBitExactness:
+    @given(
+        rows_pow=st.integers(min_value=6, max_value=8),
+        batch_pow=st.integers(min_value=4, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        epochs=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_streaming_reduces_to_incore_bit_exactly(self, rows_pow, batch_pow, seed, epochs):
+        """Unshuffled, block-aligned streaming == in-core SGD, bit for bit."""
+        rows, batch_size = 2**rows_pow, 2**batch_pow
+        block_rows = batch_size * 2  # block-aligned: block_rows % batch_size == 0
+        bench, x_observed, observed = _problem(rows, seed)
+        incore = _incore(bench, epochs=epochs, batch_size=batch_size, seed=seed, shuffle=False)
+
+        init = _incore(bench, epochs=0, batch_size=batch_size, seed=seed, shuffle=False)
+        streamer = StreamingFactorizer(
+            rows, init.v_, u0=init.u_, frozen_prefix=init.landmarks_.n_spatial,
+            batch_size=batch_size, shuffle=False, seed=seed, learning_rate=1e-3,
+        ).fit(ArrayBlockSource(x_observed, observed, block_rows), epochs=incore.n_iter_)
+
+        np.testing.assert_array_equal(streamer.u, incore.u_)
+        np.testing.assert_array_equal(streamer.v, incore.v_)
+        assert tuple(streamer.sampled_objectives) == incore.fit_report_.sampled_objectives
+        assert streamer.landmark_block_intact
+
+    def test_jobs1_oocore_matches_streaming_factorizer(self):
+        rows, seed, epochs = 192, 11, 3
+        _, x_observed, observed = _problem(rows, seed)
+        u0, v0 = init_factors(x_observed, observed, RANK, random_state=seed)
+        source = ArrayBlockSource(x_observed, observed, block_rows=64)
+        a = fit_oocore(source, v0, u0, epochs=epochs, jobs=1, frozen_prefix=2, seed=seed)
+        b = fit_oocore(source, v0, u0, epochs=epochs, jobs=1, frozen_prefix=2, seed=seed)
+        np.testing.assert_array_equal(a.u, b.u)
+        np.testing.assert_array_equal(a.v, b.v)
+        assert a.sampled_objectives == b.sampled_objectives
+        assert a.jobs == 1 and a.epochs == epochs
+
+
+class TestParallelAgreement:
+    def test_parallel_jobs1_is_bit_identical_to_serial(self):
+        rows, seed = 256, 5
+        _, x_observed, observed = _problem(rows, seed)
+        u0, v0 = init_factors(x_observed, observed, RANK, random_state=seed)
+        source = ArrayBlockSource(x_observed, observed, block_rows=64)
+        serial = fit_oocore(source, v0, u0, epochs=2, jobs=1, frozen_prefix=2, seed=seed)
+        parallel = fit_parallel(source, v0, u0, epochs=2, jobs=1, frozen_prefix=2, seed=seed)
+        np.testing.assert_array_equal(parallel.u, serial.u)
+        np.testing.assert_array_equal(parallel.v, serial.v)
+        assert parallel.sampled_objectives == serial.sampled_objectives
+        assert parallel.rows_touched == serial.rows_touched
+
+    def test_jobs4_agrees_within_pinned_tolerance(self):
+        rows, seed = 512, 3
+        _, x_observed, observed = _problem(rows, seed)
+        u0, v0 = init_factors(x_observed, observed, RANK, random_state=seed)
+        source = ArrayBlockSource(x_observed, observed, block_rows=128)
+        # lr inside the 1/n_rows stability regime — above it, the
+        # within-round V staleness amplifies instead of perturbing.
+        lr = 5e-4
+        serial = fit_oocore(
+            source, v0, u0, epochs=3, jobs=1, frozen_prefix=2, seed=seed, learning_rate=lr
+        )
+        parallel = fit_parallel(
+            source, v0, u0, epochs=3, jobs=4, frozen_prefix=2, seed=seed, learning_rate=lr
+        )
+
+        def rel_dev(a, b):
+            return float(np.linalg.norm(a - b) / max(np.linalg.norm(b), 1e-12))
+
+        assert rel_dev(parallel.u, serial.u) < PARALLEL_DEVIATION_TOLERANCE
+        assert rel_dev(parallel.v, serial.v) < PARALLEL_DEVIATION_TOLERANCE
+        assert parallel.jobs == 4
+
+    def test_parallel_is_deterministic_across_runs(self):
+        rows, seed = 256, 9
+        _, x_observed, observed = _problem(rows, seed)
+        u0, v0 = init_factors(x_observed, observed, RANK, random_state=seed)
+        source = ArrayBlockSource(x_observed, observed, block_rows=64)
+        a = fit_parallel(source, v0, u0, epochs=2, jobs=2, frozen_prefix=2, seed=seed)
+        b = fit_parallel(source, v0, u0, epochs=2, jobs=2, frozen_prefix=2, seed=seed)
+        np.testing.assert_array_equal(a.u, b.u)
+        np.testing.assert_array_equal(a.v, b.v)
+
+
+class TestLandmarkFreeze:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_landmark_block_is_bit_frozen(self, jobs):
+        rows, seed, prefix = 256, 17, 2
+        _, x_observed, observed = _problem(rows, seed)
+        u0, v0 = init_factors(x_observed, observed, RANK, random_state=seed)
+        source = ArrayBlockSource(x_observed, observed, block_rows=64)
+        result = fit_oocore(
+            source, v0, u0, epochs=3, jobs=jobs, frozen_prefix=prefix, seed=seed
+        )
+        np.testing.assert_array_equal(result.v[:, :prefix], v0[:, :prefix])
+        assert result.landmark_block_intact
+        # ...and the live block actually moved — frozen != inert fit.
+        assert not np.array_equal(result.v[:, prefix:], v0[:, prefix:])
+
+
+class TestStreamingInit:
+    def test_single_block_source_matches_incore_init(self):
+        rows, seed = 96, 21
+        _, x_observed, observed = _problem(rows, seed)
+        source = ArrayBlockSource(x_observed, observed, block_rows=rows)
+        u_stream, v_stream = streaming_init(source, RANK, random_state=seed)
+        u_incore, v_incore = init_factors(
+            x_observed, observed, RANK, strategy="random", random_state=seed
+        )
+        np.testing.assert_array_equal(u_stream, u_incore)
+        np.testing.assert_array_equal(v_stream, v_incore)
+
+    def test_generator_source_init_is_deterministic(self):
+        source = GeneratorBlockSource(
+            "lowrank_landmark", {"rows": 64, "cols": COLS, "rank": RANK},
+            seed=2, block_rows=32,
+        )
+        a = streaming_init(source, RANK, random_state=4)
+        b = streaming_init(source, RANK, random_state=4)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])

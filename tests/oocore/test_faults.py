@@ -1,0 +1,98 @@
+"""Fault injection: dead workers, worker exceptions, shm lifecycle.
+
+A parallel fit that hangs or leaks shared memory on failure is worse
+than no parallel fit.  These tests kill and sabotage workers mid-epoch
+and assert the parent raises a clear :class:`RuntimeError` promptly and
+unlinks every shared-memory segment it created — on failure *and* on
+success.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.initialization import init_factors
+from repro.oocore import ArrayBlockSource, fit_parallel
+from repro.oocore.parallel import LAST_RUN_SHM_NAMES
+
+ROWS, COLS, RANK = 256, 9, 4
+BLOCK_ROWS = 64
+
+
+class KillerSource(ArrayBlockSource):
+    """Blows away the worker process when it loads ``kill_index``.
+
+    SIGKILL is uncatchable — the worker gets no chance to report an
+    error tuple, exactly like an OOM kill in production.  The parent
+    only learns from the dead process's exit code.
+    """
+
+    kill_index = 1
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._parent_pid = os.getpid()
+
+    def _materialize(self, index, start, stop):
+        if index == self.kill_index and os.getpid() != self._parent_pid:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super()._materialize(index, start, stop)
+
+
+class FaultySource(ArrayBlockSource):
+    """Raises inside the worker; the error tuple must surface."""
+
+    def _materialize(self, index, start, stop):
+        if index == 2:
+            raise ValueError("synthetic block corruption")
+        return super()._materialize(index, start, stop)
+
+
+@pytest.fixture
+def problem(rng):
+    x = rng.random((ROWS, COLS))
+    observed = rng.random((ROWS, COLS)) > 0.3
+    x_observed = np.where(observed, x, 0.0)
+    u0, v0 = init_factors(x_observed, observed, RANK, random_state=0)
+    return x_observed, observed, u0, v0
+
+
+def _assert_all_shm_unlinked():
+    assert LAST_RUN_SHM_NAMES, "fit_parallel did not record its shm names"
+    for name in LAST_RUN_SHM_NAMES:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_killed_worker_raises_instead_of_hanging(problem):
+    x_observed, observed, u0, v0 = problem
+    source = KillerSource(x_observed, observed, BLOCK_ROWS)
+    with pytest.raises(RuntimeError, match="worker"):
+        fit_parallel(
+            source, v0, u0, epochs=2, jobs=2, frozen_prefix=2, seed=0, timeout=30.0
+        )
+    _assert_all_shm_unlinked()
+
+
+def test_worker_exception_surfaces_as_runtime_error(problem):
+    x_observed, observed, u0, v0 = problem
+    source = FaultySource(x_observed, observed, BLOCK_ROWS)
+    with pytest.raises(RuntimeError, match="synthetic block corruption"):
+        fit_parallel(source, v0, u0, epochs=1, jobs=2, frozen_prefix=2, seed=0)
+    _assert_all_shm_unlinked()
+
+
+def test_successful_run_unlinks_every_segment(problem):
+    x_observed, observed, u0, v0 = problem
+    source = ArrayBlockSource(x_observed, observed, BLOCK_ROWS)
+    result = fit_parallel(source, v0, u0, epochs=1, jobs=2, frozen_prefix=2, seed=0)
+    assert result.u.shape == (ROWS, RANK)
+    _assert_all_shm_unlinked()
+    # The result arrays survive the unlink — they are copies, not views
+    # into the (now freed) shared segments.
+    assert np.isfinite(result.u).all() and np.isfinite(result.v).all()

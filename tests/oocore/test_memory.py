@@ -1,0 +1,97 @@
+"""Peak-memory contract of the out-of-core path.
+
+The entire point of :mod:`repro.oocore` is that fitting never
+materializes the full ``N x M`` matrix — nor the in-core pipeline's
+``N x N`` spatial similarity graph.  ``tracemalloc`` (which numpy's
+allocator reports into) measures the allocation peak of a streaming fit
+directly; the in-core fit on the same instance is the control that
+provably crosses the dense floor.
+"""
+
+from __future__ import annotations
+
+import functools
+import tracemalloc
+
+import numpy as np
+
+from repro.bench.specs import generate
+from repro.core.smfl import SMFL
+from repro.oocore import GeneratorBlockSource, StreamingFactorizer, streaming_init
+
+ROWS, COLS, RANK = 4_096, 13, 4
+BLOCK_ROWS = 256
+DENSE_BYTES = ROWS * COLS * 8  # one float64 copy of the data alone
+
+
+@functools.lru_cache(maxsize=1)
+def _streaming_peak() -> int:
+    source = GeneratorBlockSource(
+        "lowrank_landmark", {"rows": ROWS, "cols": COLS, "rank": RANK},
+        seed=0, block_rows=BLOCK_ROWS,
+    )
+    u_stream, v_stream = streaming_init(source, RANK, random_state=0)
+    streamer = StreamingFactorizer(
+        ROWS, v_stream, u0=u_stream, frozen_prefix=2,
+        batch_size=BLOCK_ROWS, shuffle=True, seed=0, learning_rate=1e-6,
+    )
+    # Warm epoch allocates every workspace buffer; the measured epoch is
+    # steady state plus per-block generation.
+    streamer.fit(source, epochs=1)
+    tracemalloc.start()
+    try:
+        streamer.fit(source, epochs=1)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def _dense_peak() -> int:
+    tracemalloc.start()
+    try:
+        bench = generate(
+            "lowrank_landmark", {"rows": ROWS, "cols": COLS, "rank": RANK}, seed=0
+        )
+        model = SMFL(
+            rank=RANK, lam=0.0, method="stochastic", batch_size=BLOCK_ROWS,
+            learning_rate=1e-6, tol=0.0, max_iter=1, random_state=0,
+        )
+        model.fit(bench.x_missing, bench.mask)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def test_streaming_fit_stays_under_the_dense_floor():
+    """The out-of-core epoch peaks below one dense copy of the matrix.
+
+    The U factor (``N x K``) is resident by design; everything else is
+    block-sized.  The bound is the dense matrix itself, which the U
+    factor plus a handful of blocks cannot reach at these shapes.
+    """
+    peak = _streaming_peak()
+    assert peak < DENSE_BYTES, (
+        f"streaming epoch peaked at {peak} bytes; dense floor is {DENSE_BYTES}"
+    )
+
+
+def test_dense_fit_provably_exceeds_the_same_bound():
+    """Control: the in-core pipeline cannot stay under the dense floor."""
+    peak = _dense_peak()
+    assert peak > DENSE_BYTES, (
+        f"in-core fit peaked at {peak} bytes, under the {DENSE_BYTES} floor; "
+        "the memory bound above is no longer meaningful"
+    )
+
+
+def test_u_factor_dominates_the_streaming_peak():
+    """The resident state is U plus O(block) buffers, not O(N x M)."""
+    peak = _streaming_peak()
+    u_bytes = ROWS * RANK * 8
+    block_bytes = BLOCK_ROWS * COLS * 8
+    # Generous envelope: U + 32 block-sized arrays (generation scratch,
+    # workspace buffers, residuals) — still far under the dense floor.
+    assert peak < u_bytes + 32 * block_bytes
+    assert np.isfinite(peak)

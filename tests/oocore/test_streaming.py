@@ -1,0 +1,119 @@
+"""Branch coverage of the streaming seam: coercion, validation, decay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.initialization import init_factors
+from repro.exceptions import ValidationError
+from repro.oocore import ArrayBlockSource, StreamingFactorizer
+
+ROWS, COLS, RANK = 128, 7, 3
+
+
+@pytest.fixture
+def problem(rng):
+    x = rng.random((ROWS, COLS))
+    observed = rng.random((ROWS, COLS)) > 0.3
+    x_observed = np.where(observed, x, 0.0)
+    u0, v0 = init_factors(x_observed, observed, RANK, random_state=0)
+    return x_observed, observed, u0, v0
+
+
+def _factorizer(u0, v0, **overrides):
+    kwargs = dict(
+        u0=u0, frozen_prefix=2, batch_size=32, shuffle=False, seed=0,
+        learning_rate=1e-3,
+    )
+    kwargs.update(overrides)
+    return StreamingFactorizer(ROWS, v0, **kwargs)
+
+
+class TestRawPairCoercion:
+    def test_raw_pair_matches_rowblock_path(self, problem):
+        x_observed, observed, u0, v0 = problem
+        source = ArrayBlockSource(x_observed, observed, block_rows=64)
+
+        via_blocks = _factorizer(u0, v0)
+        for block in source:
+            via_blocks.partial_fit(block)
+        via_blocks.finish_epoch()
+
+        via_raw = _factorizer(u0, v0)
+        for block in source:
+            via_raw.partial_fit(
+                block.x_observed, block.observed, start=block.start, index=block.index
+            )
+        via_raw.finish_epoch()
+
+        np.testing.assert_array_equal(via_raw.u, via_blocks.u)
+        np.testing.assert_array_equal(via_raw.v, via_blocks.v)
+
+    def test_raw_pair_without_start_raises(self, problem):
+        x_observed, observed, u0, v0 = problem
+        with pytest.raises(ValidationError, match="start"):
+            _factorizer(u0, v0).partial_fit(x_observed[:32], observed[:32])
+
+
+class TestValidation:
+    def test_block_past_n_rows_raises(self, problem):
+        x_observed, observed, u0, v0 = problem
+        factorizer = _factorizer(u0, v0)
+        with pytest.raises(ValidationError):
+            factorizer.partial_fit(
+                x_observed[:32], observed[:32], start=ROWS - 8
+            )
+
+    def test_wrong_column_count_raises(self, problem):
+        x_observed, observed, u0, v0 = problem
+        factorizer = _factorizer(u0, v0)
+        with pytest.raises(ValidationError):
+            factorizer.partial_fit(
+                x_observed[:32, :5], observed[:32, :5], start=0
+            )
+
+    def test_bad_frozen_prefix_raises(self, problem):
+        x_observed, observed, u0, v0 = problem
+        with pytest.raises(ValidationError):
+            _factorizer(u0, v0, frozen_prefix=COLS + 1)
+
+    def test_one_d_v0_raises(self, problem):
+        x_observed, observed, u0, v0 = problem
+        with pytest.raises(ValidationError, match="v0"):
+            StreamingFactorizer(ROWS, v0[0], u0=u0)
+
+
+class TestFitDynamics:
+    def test_lr_decay_changes_the_trajectory_deterministically(self, problem):
+        x_observed, observed, u0, v0 = problem
+        source = ArrayBlockSource(x_observed, observed, block_rows=64)
+        flat = _factorizer(u0, v0, lr_decay=0.0).fit(source, epochs=3)
+        decayed_a = _factorizer(u0, v0, lr_decay=0.5).fit(source, epochs=3)
+        decayed_b = _factorizer(u0, v0, lr_decay=0.5).fit(source, epochs=3)
+        assert not np.array_equal(decayed_a.u, flat.u)
+        np.testing.assert_array_equal(decayed_a.u, decayed_b.u)
+
+    def test_zero_frozen_prefix_updates_all_of_v(self, problem):
+        x_observed, observed, u0, v0 = problem
+        source = ArrayBlockSource(x_observed, observed, block_rows=64)
+        factorizer = _factorizer(u0, v0, frozen_prefix=0).fit(source, epochs=1)
+        assert not np.array_equal(factorizer.v[:, :2], v0[:, :2])
+        assert factorizer.landmark_block_intact  # empty prefix is trivially intact
+
+    def test_evaluate_matches_direct_residual(self, problem):
+        x_observed, observed, u0, v0 = problem
+        source = ArrayBlockSource(x_observed, observed, block_rows=32)
+        factorizer = _factorizer(u0, v0).fit(source, epochs=2)
+        residual = factorizer.u @ factorizer.v - x_observed
+        residual[~observed] = 0.0
+        direct = float(np.vdot(residual, residual))
+        assert factorizer.evaluate(source) == pytest.approx(direct, rel=1e-9)
+
+    def test_epoch_counter_and_telemetry_lengths_agree(self, problem):
+        x_observed, observed, u0, v0 = problem
+        source = ArrayBlockSource(x_observed, observed, block_rows=64)
+        factorizer = _factorizer(u0, v0).fit(source, epochs=3)
+        assert factorizer.epoch == 3
+        assert len(factorizer.sampled_objectives) == 3
+        assert factorizer.rows_touched == [ROWS] * 3
