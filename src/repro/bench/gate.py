@@ -99,14 +99,17 @@ class GateReport:
 
 
 def check_baseline_dir(baseline_dir: str) -> tuple[list[str], list[str], list[str]]:
-    """Checks 1 + 2 over every ``BENCH_*.json`` in ``baseline_dir``.
+    """Checks 1 + 2 over every ``BENCH_*.json`` / ``SLO_*.json`` in ``baseline_dir``.
 
     Returns ``(failures, checked_paths, notes)``.
     """
     failures: list[str] = []
     checked: list[str] = []
     notes: list[str] = []
-    paths = sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json")))
+    paths = sorted(
+        glob.glob(os.path.join(baseline_dir, "BENCH_*.json"))
+        + glob.glob(os.path.join(baseline_dir, "SLO_*.json"))
+    )
     if not paths:
         failures.append(
             f"no BENCH_*.json baselines found under {baseline_dir!r}"

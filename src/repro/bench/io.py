@@ -50,7 +50,14 @@ DEFAULT_RESULTS_DIR = "results"
 
 
 def bench_path(name: str, directory: str = DEFAULT_RESULTS_DIR) -> str:
-    """Canonical on-disk location of benchmark ``name``."""
+    """Canonical on-disk location of benchmark ``name``.
+
+    Names already carrying the ``SLO_`` prefix (serving-budget
+    baselines) keep it as the whole filename; everything else gets the
+    historical ``BENCH_`` prefix.
+    """
+    if name.startswith("SLO_"):
+        return os.path.join(directory, f"{name}.json")
     return os.path.join(directory, f"BENCH_{name}.json")
 
 

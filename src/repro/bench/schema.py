@@ -87,6 +87,9 @@ BENCH_SCHEMAS: dict[str, tuple[tuple[str, str], ...]] = {
         ("median_enabled_over_disabled", "number"),
         ("worst_disabled_over_baseline", "number"),
         ("disabled_median_iteration_seconds", "dict"),
+        ("live", "dict"),
+        ("live.serving_off_over_plain", "number"),
+        ("live.serving_sampled_over_off", "number"),
         ("acceptance", "dict"),
     ),
     "kernels": (
@@ -139,6 +142,21 @@ BENCH_SCHEMAS: dict[str, tuple[tuple[str, str], ...]] = {
         ("acceptance.parallel_deviation_within_tolerance", "bool"),
         ("acceptance.bounded_peak_memory", "bool"),
         ("acceptance.landmark_block_intact", "bool"),
+    ),
+    "SLO_serving": (
+        ("slo_schema_version", "int"),
+        ("recorded.requests", "int"),
+        ("recorded.errors", "int"),
+        ("recorded.error_rate", "number"),
+        ("recorded.p50_seconds", "number"),
+        ("recorded.p99_seconds", "number"),
+        ("recorded.stall_count", "int"),
+        ("recorded.worker_deaths", "int"),
+        ("budgets.p99_seconds_max", "number"),
+        ("budgets.error_rate_max", "number"),
+        ("budgets.stall_count_max", "int"),
+        ("acceptance", "dict"),
+        ("acceptance.recorded_within_budgets", "bool"),
     ),
     "sweep": (
         ("sweep_schema_version", "int"),
@@ -203,6 +221,10 @@ ACCEPTED_METRICS: dict[str, tuple[MetricCheck, ...]] = {
         MetricCheck("equivalence.parallel_max_rel_deviation", "max", 0.05),
         MetricCheck("acceptance.*", "flag"),
     ),
+    "SLO_serving": (
+        MetricCheck("recorded.error_rate", "max", 0.0),
+        MetricCheck("acceptance.*", "flag"),
+    ),
 }
 """Accuracy-ratio / invariant metrics the gate re-checks per benchmark.
 
@@ -213,12 +235,18 @@ not in a fixed limit.
 
 
 def bench_name_from_path(path: str) -> str | None:
-    """``.../BENCH_<name>.json`` -> ``<name>`` (else ``None``)."""
+    """``.../BENCH_<name>.json`` -> ``<name>`` (else ``None``).
+
+    SLO baselines keep their prefix: ``.../SLO_<name>.json`` maps to
+    ``SLO_<name>``, the key the schema registries use verbatim.
+    """
     import os
 
     base = os.path.basename(path)
     if base.startswith("BENCH_") and base.endswith(".json"):
         return base[len("BENCH_"):-len(".json")]
+    if base.startswith("SLO_") and base.endswith(".json"):
+        return base[:-len(".json")]
     return None
 
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from ..exceptions import ConvergenceWarning
+from ..obs.live.events import get_event_log
 from ..obs.trace import get_tracer
 from ..validation import check_in_range, check_positive_int
 from .callbacks import Callback, IterationRecord
@@ -91,6 +92,12 @@ class IterativeEngine:
         """
         monitor = ConvergenceMonitor(max_iter=self.max_iter, tol=self.tol)
         tracer = get_tracer()
+        events = get_event_log()
+        solver_name = getattr(solver, "name", "solver")
+        if events.enabled:
+            events.emit(
+                "engine.fit_start", solver=solver_name, max_iter=self.max_iter
+            )
         for callback in self.callbacks:
             callback.on_fit_start(solver, state)
 
@@ -128,6 +135,21 @@ class IterativeEngine:
         # Solvers with a custom rule override the monitor's verdict so
         # downstream consumers (reports, warnings) see one truth.
         monitor.converged = converged
+        if events.enabled:
+            if converged:
+                events.emit(
+                    "engine.converged",
+                    solver=solver_name,
+                    n_iter=steps,
+                    objective=monitor.history[-1] if monitor.history else None,
+                )
+            events.emit(
+                "engine.fit_end",
+                solver=solver_name,
+                n_iter=steps,
+                converged=converged,
+                n_increases=monitor.n_increases,
+            )
         if not converged and self.warn_on_budget:
             warnings.warn(
                 f"iteration budget of {self.max_iter} exhausted without "

@@ -15,7 +15,13 @@ One observability subsystem instead of three ad-hoc mechanisms
   ``trace_event`` exporters;
 - :mod:`repro.obs.analyze` + ``python -m repro.obs report`` - span
   tree reconstruction, self-time accounting, coverage, and the text
-  flamegraph CLI.
+  flamegraph CLI;
+- :mod:`repro.obs.live` - the operational half: a schema-versioned
+  structured :class:`EventLog` (append-only JSONL, live-tailable),
+  Prometheus text exposition (``python -m repro.obs expose``),
+  per-request trace :class:`Sampler` for the fold-in server, a stdlib
+  ``/metrics`` scrape endpoint, and the ``slo`` gate that holds a
+  recorded serving run to committed latency/error/stall budgets.
 
 Producers: :class:`repro.engine.IterativeEngine` (``fit`` /
 ``iteration`` / ``evaluate`` spans, feeding ``Telemetry`` from the same
@@ -27,6 +33,27 @@ on the ``repro.experiments`` and ``repro.engine.timing`` CLIs, or
 programmatically via :func:`trace_to` / :func:`use_tracer`.
 """
 
+from .live import (
+    EVENT_SCHEMA_VERSION,
+    AppendJsonlSink,
+    EventLog,
+    EventSink,
+    MetricsServer,
+    NULL_EVENT_LOG,
+    NullEventLog,
+    RingBufferSink,
+    Sampler,
+    evaluate_slo,
+    event_log_to,
+    get_event_log,
+    next_request_id,
+    parse_exposition,
+    read_event_log,
+    render_prometheus,
+    serving_stats_from_events,
+    set_event_log,
+    use_event_log,
+)
 from .analyze import (
     SpanNode,
     aggregate_spans,
@@ -70,10 +97,19 @@ from .trace import (
 )
 
 __all__ = [
+    "AppendJsonlSink",
     "Counter",
+    "EVENT_SCHEMA_VERSION",
+    "EventLog",
+    "EventSink",
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "MetricsServer",
+    "NULL_EVENT_LOG",
+    "NullEventLog",
+    "RingBufferSink",
+    "Sampler",
     "MemorySink",
     "MetricsRegistry",
     "NULL_TRACER",
@@ -88,18 +124,28 @@ __all__ = [
     "build_tree",
     "collecting_tracer",
     "coverage",
+    "evaluate_slo",
+    "event_log_to",
+    "get_event_log",
     "get_metrics",
     "get_tracer",
+    "next_request_id",
+    "parse_exposition",
     "profiled",
+    "read_event_log",
     "read_events",
+    "render_prometheus",
     "render_top",
     "render_tree",
     "reset_metrics",
+    "serving_stats_from_events",
+    "set_event_log",
     "set_tracer",
     "timed_call",
     "to_chrome_trace",
     "trace_to",
     "traced",
+    "use_event_log",
     "use_tracer",
     "write_chrome_trace",
     "write_summary",

@@ -1,0 +1,83 @@
+"""Live telemetry: event log, exposition, sampling, liveness, SLO gate.
+
+The base ``repro.obs`` layer records *traces* — whole-run span trees
+written once at exit.  This package adds the operational half:
+
+- :mod:`~repro.obs.live.events` — a schema-versioned structured event
+  log with an append-only JSONL sink (live-tailable mid-run) and a
+  ring buffer, plus the ambient get/set/use trio mirroring the tracer;
+- :mod:`~repro.obs.live.prometheus` — render a
+  :class:`~repro.obs.metrics.MetricsRegistry` (or saved snapshot) to
+  Prometheus text exposition format, and a strict parser used as the
+  CI validity check;
+- :mod:`~repro.obs.live.sampling` — per-request head sampling for the
+  fold-in server, always-on for errors;
+- :mod:`~repro.obs.live.serve` — a stdlib ``/metrics`` scrape endpoint;
+- :mod:`~repro.obs.live.slo` — reduce a recorded event log to serving
+  stats and gate them against committed latency/error/stall budgets.
+
+Everything here follows the base layer's rules: one clock, ambient
+no-op defaults that cost a truthiness check when disabled, and no
+dependencies beyond the stdlib.
+"""
+
+from .events import (
+    EVENT_SCHEMA_VERSION,
+    AppendJsonlSink,
+    EventLog,
+    EventSink,
+    NullEventLog,
+    NULL_EVENT_LOG,
+    RingBufferSink,
+    event_log_to,
+    get_event_log,
+    next_request_id,
+    read_event_log,
+    set_event_log,
+    use_event_log,
+)
+from .prometheus import (
+    metric_name,
+    parse_exposition,
+    render_prometheus,
+    snapshot_series,
+)
+from .sampling import Sampler
+from .serve import CONTENT_TYPE, MetricsServer
+from .slo import (
+    DEFAULT_BUDGETS,
+    SLO_SCHEMA_VERSION,
+    build_slo_payload,
+    evaluate_slo,
+    record_slo_baseline,
+    serving_stats_from_events,
+)
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "AppendJsonlSink",
+    "EventLog",
+    "EventSink",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "RingBufferSink",
+    "event_log_to",
+    "get_event_log",
+    "next_request_id",
+    "read_event_log",
+    "set_event_log",
+    "use_event_log",
+    "metric_name",
+    "parse_exposition",
+    "render_prometheus",
+    "snapshot_series",
+    "Sampler",
+    "CONTENT_TYPE",
+    "MetricsServer",
+    "DEFAULT_BUDGETS",
+    "SLO_SCHEMA_VERSION",
+    "build_slo_payload",
+    "evaluate_slo",
+    "record_slo_baseline",
+    "serving_stats_from_events",
+]

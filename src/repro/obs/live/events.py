@@ -1,0 +1,292 @@
+"""The structured event log: live, schema-versioned JSONL telemetry.
+
+Spans (:mod:`repro.obs.trace`) answer "where did the time go" *after* a
+run; the event log answers "what is happening *right now*".  An
+:class:`EventLog` emits one JSON record per event — schema-versioned,
+wall-clock timestamped on the one-clock anchor, linked to the ambient
+tracer's open span — into any number of sinks:
+
+- :class:`RingBufferSink` keeps the last N records in memory (the
+  ``report --tail`` source for an in-process consumer);
+- :class:`AppendJsonlSink` appends each record to a file the moment it
+  is emitted (``O_APPEND`` + one ``write`` per line), so ``tail -f``
+  works while the process runs and a crash loses at most the final
+  partial line — the exact opposite trade from the trace layer's
+  :class:`~repro.obs.sink.JsonlSink`, whose atomic whole-file replace
+  guarantees completeness at the cost of liveness.
+
+The ambient default is :data:`NULL_EVENT_LOG`: emitting into it is one
+attribute lookup and a no-op method call, so instrumented hot paths
+(`IterativeEngine`, :class:`~repro.serving.FoldInServer`, the oocore
+round loop) stay no-op-cheap with live telemetry off.  Guard any
+attribute *construction* with ``if events.enabled`` — the emit call
+itself never needs a guard.
+
+One-clock principle: ``ts`` is ``anchor + perf_counter()`` with the
+anchor taken once per log (``time.time() - perf_counter()``), the same
+construction :class:`~repro.obs.trace.Tracer` uses for span starts, so
+event timestamps and span timestamps interleave correctly in a merged
+timeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ..trace import get_tracer
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EventSink",
+    "RingBufferSink",
+    "AppendJsonlSink",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "get_event_log",
+    "set_event_log",
+    "use_event_log",
+    "event_log_to",
+    "read_event_log",
+    "next_request_id",
+]
+
+EVENT_SCHEMA_VERSION = 1
+"""Generation counter of the event record shape.
+
+Bump on any change to the required fields (``schema``, ``ts``,
+``event``, ``level``, ``pid``) or their meaning; consumers
+(:mod:`repro.obs.live.slo`, ``report --tail``) key on it.
+"""
+
+LEVELS = ("debug", "info", "warning", "error")
+"""Legal ``level`` values, in severity order."""
+
+
+class EventSink:
+    """Interface: anything with ``emit(record)`` (and optional ``close``)."""
+
+    def emit(self, record: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; emitting afterwards is an error."""
+
+
+class RingBufferSink(EventSink):
+    """Keep the most recent ``maxlen`` records in memory."""
+
+    def __init__(self, maxlen: int = 1024) -> None:
+        self.records: deque[dict[str, Any]] = deque(maxlen=int(maxlen))
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def tail(self, n: int | None = None) -> list[dict[str, Any]]:
+        """The last ``n`` records (all buffered records when ``None``)."""
+        records = list(self.records)
+        return records if n is None else records[-int(n):]
+
+
+class AppendJsonlSink(EventSink):
+    """Append one JSONL line per record, immediately, to ``path``.
+
+    The file is opened ``O_APPEND`` and each record lands as a single
+    ``os.write`` call, so concurrent emitters (forked oocore workers,
+    server threads) interleave whole lines rather than corrupting each
+    other, and an external ``tail -f`` sees every event as it happens.
+    A crash can truncate at most the final line — readers go through
+    :func:`read_event_log`, which tolerates exactly that.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fd: int | None = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+
+    def emit(self, record: dict[str, Any]) -> None:
+        if self._fd is None:
+            raise ValueError(f"event sink for {self.path!r} is closed")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+
+class EventLog:
+    """Process-wide, thread-safe structured event emitter.
+
+    Every record carries ``schema`` (:data:`EVENT_SCHEMA_VERSION`),
+    ``ts`` (one-clock wall time), ``event`` (dotted name, e.g.
+    ``serving.request_done``), ``level``, ``pid``, the ambient tracer's
+    open ``span_id`` when there is one, and free-form ``attrs``.
+    """
+
+    enabled = True
+
+    def __init__(self, *sinks: EventSink) -> None:
+        self.sinks: tuple[EventSink, ...] = tuple(sinks)
+        # Same wall-clock anchor construction as Tracer: event and span
+        # timestamps stay comparable within and across processes.
+        self.anchor = time.time() - time.perf_counter()
+        self._lock = threading.Lock()
+
+    def emit(
+        self, event: str, *, level: str = "info", **attrs: Any
+    ) -> dict[str, Any]:
+        """Emit one event into every sink; returns the record."""
+        if level not in LEVELS:
+            raise ValueError(f"unknown event level {level!r}; known: {LEVELS}")
+        record: dict[str, Any] = {
+            "schema": EVENT_SCHEMA_VERSION,
+            "ts": self.anchor + time.perf_counter(),
+            "event": str(event),
+            "level": level,
+            "pid": os.getpid(),
+        }
+        span_id = get_tracer().current_span_id()
+        if span_id is not None:
+            record["span_id"] = span_id
+        if attrs:
+            record["attrs"] = attrs
+        with self._lock:
+            for sink in self.sinks:
+                sink.emit(record)
+        return record
+
+    def emit_metrics(self, registry: Any = None) -> dict[str, Any]:
+        """Emit a ``metrics.snapshot`` event carrying a registry snapshot.
+
+        ``python -m repro.obs expose`` scans event logs for these (the
+        last one wins per metric), turning any recorded run into a
+        scrapeable exposition.
+        """
+        if registry is None:
+            from ..metrics import get_metrics
+
+            registry = get_metrics()
+        return self.emit("metrics.snapshot", values=registry.snapshot())
+
+    def close(self) -> None:
+        with self._lock:
+            for sink in self.sinks:
+                sink.close()
+
+
+class NullEventLog:
+    """The ambient default: every emit is a cheap no-op."""
+
+    enabled = False
+    sinks: tuple[EventSink, ...] = ()
+
+    def emit(self, event: str, *, level: str = "info", **attrs: Any) -> None:
+        """Dropped."""
+
+    def emit_metrics(self, registry: Any = None) -> None:
+        """Dropped."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+NULL_EVENT_LOG = NullEventLog()
+"""The process-wide disabled event log (stateless, shared)."""
+
+_active: EventLog | NullEventLog = NULL_EVENT_LOG
+
+
+def get_event_log() -> EventLog | NullEventLog:
+    """The ambient event log instrumented code should emit into."""
+    return _active
+
+
+def set_event_log(log: EventLog | NullEventLog) -> EventLog | NullEventLog:
+    """Install ``log`` as the ambient event log; returns the previous one."""
+    global _active
+    previous = _active
+    _active = log
+    return previous
+
+
+@contextmanager
+def use_event_log(
+    log: EventLog | NullEventLog,
+) -> Iterator[EventLog | NullEventLog]:
+    """Scope ``log`` as the ambient event log, restoring on exit."""
+    previous = set_event_log(log)
+    try:
+        yield log
+    finally:
+        set_event_log(previous)
+
+
+@contextmanager
+def event_log_to(path: str, *, ring: int = 1024) -> Iterator[EventLog]:
+    """Emit the enclosed block's events to a live JSONL file at ``path``.
+
+    Records are appended as they happen (tailable mid-run); a ring
+    buffer of the last ``ring`` records rides along for in-process
+    consumers.  The file is *not* truncated first — a crashed run's
+    events survive, and a retried run appends after them.
+    """
+    log = EventLog(AppendJsonlSink(path), RingBufferSink(ring))
+    try:
+        with use_event_log(log):
+            yield log
+    finally:
+        log.close()
+
+
+def read_event_log(
+    path: str, *, tolerate_truncation: bool = True
+) -> list[dict[str, Any]]:
+    """Load an event-log JSONL file, tolerating a torn final line.
+
+    The append sink guarantees whole-line atomicity for finished
+    writes, so the only legal corruption is a truncated *final* line
+    (the process died mid-``write``).  With ``tolerate_truncation``
+    that line is dropped; corruption anywhere else — or a torn final
+    line with tolerance off — raises :class:`ValueError` naming the
+    line number.
+    """
+    records: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.readlines()
+    stripped = [(number, line.strip()) for number, line in enumerate(lines, 1)]
+    stripped = [(number, line) for number, line in stripped if line]
+    for position, (number, line) in enumerate(stripped):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            is_final = position == len(stripped) - 1
+            if is_final and tolerate_truncation:
+                break
+            raise ValueError(
+                f"{path}: invalid JSONL at line {number}: {exc}"
+            ) from exc
+    return records
+
+
+_request_ids = itertools.count(1)
+"""Process-wide request-id counter (module-level for the same reason as
+the span-id counter: per-object counters would collide across forked
+workers once merged)."""
+
+
+def next_request_id() -> str:
+    """A process-unique request id (``req-<pid>-<n>``)."""
+    return f"req-{os.getpid()}-{next(_request_ids)}"

@@ -1,0 +1,67 @@
+"""Per-request trace sampling: afford tracing at serving request rates.
+
+A traced fold-in request costs span bookkeeping plus a JSONL record;
+at thousands of requests per second that overhead is the difference
+between "observability" and "the observer effect".  :class:`Sampler`
+makes the trade explicit:
+
+- **probabilistic head sampling** — each request is sampled with
+  probability ``rate``, decided up front (a seeded ``random.Random``,
+  so test runs are reproducible);
+- **always-on-error** — the decision only gates the *success-path*
+  span; error events are emitted unconditionally by the server, so a
+  failing request is never invisible just because the coin said no.
+
+Sampled requests get their request id attached as an exemplar in the
+latency histogram buckets (:meth:`QuantileHistogram.observe
+<repro.obs.metrics.QuantileHistogram.observe>`), so a p99 spike in a
+dashboard links back to a concrete traced request.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any
+
+__all__ = ["Sampler"]
+
+
+class Sampler:
+    """Probabilistic keep/drop decisions with reproducible seeding."""
+
+    def __init__(self, rate: float, *, seed: int = 0) -> None:
+        rate = float(rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.decisions = 0
+        self.sampled = 0
+
+    def sample(self) -> bool:
+        """Decide one request; counts both outcomes."""
+        with self._lock:
+            self.decisions += 1
+            if self.rate >= 1.0:
+                keep = True
+            elif self.rate <= 0.0:
+                keep = False
+            else:
+                keep = self._rng.random() < self.rate
+            if keep:
+                self.sampled += 1
+            return keep
+
+    def stats(self) -> dict[str, Any]:
+        """Decision counts and the effective (empirical) rate."""
+        with self._lock:
+            return {
+                "rate": self.rate,
+                "decisions": self.decisions,
+                "sampled": self.sampled,
+                "effective_rate": (
+                    self.sampled / self.decisions if self.decisions else None
+                ),
+            }

@@ -13,6 +13,15 @@ records peak traced allocations (``tracemalloc``) and/or the process's
 peak RSS (``resource.getrusage``) as gauges.  Neither is touched unless
 asked - ``tracemalloc`` in particular slows allocation-heavy numeric
 code, which is exactly why it is a flag and not a default.
+
+Label sets (for the Prometheus exposition in :mod:`repro.obs.live`):
+every accessor takes an optional ``labels`` dict, and each distinct
+``(name, labels)`` pair is its own instrument.  The family keeps one
+kind across all of its label sets (``oocore.worker.last_seen`` cannot
+be a gauge for ``worker="0"`` and a counter for ``worker="1"``), and
+:meth:`MetricsRegistry.snapshot` keys labelled series as
+``name{k="v",...}`` — unlabelled instruments keep their bare name, so
+every pre-existing snapshot consumer is unaffected.
 """
 
 from __future__ import annotations
@@ -28,10 +37,36 @@ __all__ = [
     "Histogram",
     "QuantileHistogram",
     "MetricsRegistry",
+    "flat_metric_key",
     "get_metrics",
     "reset_metrics",
     "profiled",
 ]
+
+
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def flat_metric_key(name: str, labels: dict[str, str] | None = None) -> str:
+    """The registry's flat key for ``(name, labels)``.
+
+    Unlabelled series keep the bare name; labelled series render as
+    ``name{k="v",...}`` with sorted keys and Prometheus-escaped values,
+    so the snapshot key doubles as the exposition series identity.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{_escape_label_value(labels[key])}"' for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
@@ -52,7 +87,7 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value (peak RSS, current learning rate)."""
+    """A point-in-time value (peak RSS, in-flight requests)."""
 
     __slots__ = ("value",)
 
@@ -61,6 +96,14 @@ class Gauge:
 
     def set(self, value: float) -> None:
         self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add to the gauge (an unset gauge counts as 0)."""
+        self.value = (self.value or 0.0) + float(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract from the gauge (an unset gauge counts as 0)."""
+        self.value = (self.value or 0.0) - float(amount)
 
     def snapshot(self) -> dict[str, Any]:
         return {"type": "gauge", "value": self.value}
@@ -122,9 +165,18 @@ class QuantileHistogram:
     Intended for positive quantities (latencies, sizes); zero and
     negative samples land in a dedicated underflow bucket reported as
     ``min``.
+
+    Buckets optionally carry an **exemplar** — an opaque id (a sampled
+    request id) attached via ``observe(value, exemplar=...)``.  The
+    last exemplar per bucket wins, so :meth:`exemplar` answers "show me
+    one concrete request that landed near the p99" without the
+    histogram ever storing samples.
     """
 
-    __slots__ = ("count", "total", "min", "max", "_buckets", "_underflow")
+    __slots__ = (
+        "count", "total", "min", "max", "_buckets", "_underflow",
+        "_exemplars",
+    )
 
     PER_DECADE = 10
 
@@ -135,8 +187,9 @@ class QuantileHistogram:
         self.max = -math.inf
         self._buckets: dict[int, int] = {}
         self._underflow = 0
+        self._exemplars: dict[int, str] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         value = float(value)
         self.count += 1
         self.total += value
@@ -147,6 +200,28 @@ class QuantileHistogram:
             return
         index = math.floor(math.log10(value) * self.PER_DECADE)
         self._buckets[index] = self._buckets.get(index, 0) + 1
+        if exemplar is not None:
+            self._exemplars[index] = str(exemplar)
+
+    def exemplar(self, q: float) -> str | None:
+        """An exemplar id from the bucket holding the ``q``-quantile.
+
+        Falls back to the nearest lower populated-with-exemplar bucket
+        (sampling means not every bucket has one); ``None`` when no
+        exemplar has been recorded at or below that rank.
+        """
+        if not self.count or not self._exemplars:
+            return None
+        rank = max(1, math.ceil(max(0.0, min(1.0, q)) * self.count))
+        cumulative = self._underflow
+        target: int | None = None
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if index in self._exemplars:
+                target = index
+            if rank <= cumulative:
+                break
+        return self._exemplars.get(target) if target is not None else None
 
     def quantile(self, q: float) -> float | None:
         """Approximate ``q``-quantile (0 <= q <= 1); ``None`` when empty."""
@@ -169,7 +244,7 @@ class QuantileHistogram:
     def snapshot(self) -> dict[str, Any]:
         if not self.count:
             return {"type": "quantile_histogram", "count": 0}
-        return {
+        snapshot = {
             "type": "quantile_histogram",
             "count": self.count,
             "sum": self.total,
@@ -180,6 +255,12 @@ class QuantileHistogram:
             "p90": self.quantile(0.90),
             "p99": self.quantile(0.99),
         }
+        if self._exemplars:
+            snapshot["exemplars"] = {
+                str(index): exemplar
+                for index, exemplar in sorted(self._exemplars.items())
+            }
+        return snapshot
 
 
 class MetricsRegistry:
@@ -188,39 +269,71 @@ class MetricsRegistry:
     Thread-safe for creation; instrument mutation itself is plain
     attribute arithmetic (safe under the GIL for the int/float updates
     done here).  Asking for an existing name with a different
-    instrument kind raises - one name, one meaning.
+    instrument kind raises - one name, one meaning - and the rule
+    covers the whole label family: every ``(name, labels)`` series of
+    one family shares one kind.
     """
 
     def __init__(self) -> None:
         self._instruments: dict[str, Any] = {}
+        self._kinds: dict[str, type] = {}
+        self._meta: dict[str, tuple[str, dict[str, str]]] = {}
         self._lock = threading.Lock()
 
-    def _get(self, name: str, cls: type) -> Any:
+    def _get(
+        self, name: str, cls: type, labels: dict[str, str] | None = None
+    ) -> Any:
+        key = flat_metric_key(name, labels)
         with self._lock:
-            instrument = self._instruments.get(name)
-            if instrument is None:
-                instrument = self._instruments[name] = cls()
-            elif not isinstance(instrument, cls):
+            kind = self._kinds.get(name)
+            if kind is not None and kind is not cls:
                 raise ValueError(
-                    f"metric {name!r} is a {type(instrument).__name__}, "
+                    f"metric {name!r} is a {kind.__name__}, "
                     f"not a {cls.__name__}"
                 )
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = self._instruments[key] = cls()
+                self._kinds[name] = cls
+                self._meta[key] = (name, dict(labels or {}))
             return instrument
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(
+        self, name: str, labels: dict[str, str] | None = None
+    ) -> Counter:
+        return self._get(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str, labels: dict[str, str] | None = None) -> Gauge:
+        return self._get(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(
+        self, name: str, labels: dict[str, str] | None = None
+    ) -> Histogram:
+        return self._get(name, Histogram, labels)
 
-    def quantile_histogram(self, name: str) -> QuantileHistogram:
-        return self._get(name, QuantileHistogram)
+    def quantile_histogram(
+        self, name: str, labels: dict[str, str] | None = None
+    ) -> QuantileHistogram:
+        return self._get(name, QuantileHistogram, labels)
+
+    def series(self) -> list[tuple[str, dict[str, str], Any]]:
+        """Every registered series as ``(family, labels, instrument)``.
+
+        Sorted by flat key — the renderer's iteration order, so two
+        expositions of the same registry are byte-identical.
+        """
+        with self._lock:
+            return [
+                (self._meta[key][0], dict(self._meta[key][1]), instrument)
+                for key, instrument in sorted(self._instruments.items())
+            ]
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
-        """JSON-ready state of every instrument, name-sorted."""
+        """JSON-ready state of every instrument, flat-key-sorted.
+
+        Unlabelled instruments keep their bare name as the key;
+        labelled series use :func:`flat_metric_key`.
+        """
         with self._lock:
             items = sorted(self._instruments.items())
         return {name: instrument.snapshot() for name, instrument in items}
@@ -228,6 +341,8 @@ class MetricsRegistry:
     def reset(self) -> None:
         with self._lock:
             self._instruments.clear()
+            self._kinds.clear()
+            self._meta.clear()
 
 
 _global = MetricsRegistry()

@@ -1,14 +1,21 @@
 """Shared-memory shard-parallel fitting: disjoint ``U`` rows, shared ``V``.
 
-Layout (DESIGN.md section 3.15): three ``multiprocessing.shared_memory``
-segments back the fit —
+Layout (DESIGN.md sections 3.15-3.16): four
+``multiprocessing.shared_memory`` segments back the fit —
 
 - ``U`` (``n x k`` float64): workers write disjoint row blocks, so no
   two processes ever touch the same cacheline of it in one round;
 - ``V`` (``k x m`` float64): read-only to workers; only the parent
   writes it, and only *between* rounds;
 - ``G`` (``jobs x k x m_live`` float64): one V-gradient slot per
-  worker task of the current round.
+  worker task of the current round;
+- ``H`` (``jobs x 4`` float64): the heartbeat slab — each worker
+  stamps ``[wall-clock ts, epoch, block, state]`` on task receipt
+  (*before* loading the block, so a SIGKILL mid-load still leaves the
+  victim block on record) and again with ``state=0`` on completion.
+  Only the parent reads it: per-worker ``last_seen`` age gauges, stall
+  events past ``stall_timeout``, and post-mortem attribution when a
+  worker dies.
 
 Scheduling is round-based: round ``r`` of an epoch covers blocks
 ``r*J .. r*J+J-1``.  Each worker task gathers its block (one batch =
@@ -30,22 +37,38 @@ factors agree to the tolerance pinned in
 ``tests/oocore/test_equivalence.py`` and gated by the benchmark.
 
 Fault handling: a worker that dies mid-epoch (or raises) surfaces as a
-:class:`RuntimeError` naming the worker — the parent polls worker
+:class:`RuntimeError` naming the worker *and the block it was on*
+(read from the heartbeat slab) — and the same attribution is emitted
+through the structured event log (``oocore.worker_died`` /
+``worker_error``) **before** the raise, so the post-mortem survives
+even when a caller swallows the exception.  The parent polls worker
 liveness while draining results, and the ``finally`` block terminates
 survivors and closes + unlinks every segment, so nothing hangs and no
 shared memory leaks (``tests/oocore/test_faults.py``).
+
+Event equivalence: the parent (never the workers) emits
+``oocore.block_done`` with ``round`` equal to the block's V-step
+application sequence number — the block index, since V steps apply in
+ascending block order within each round — so the ``(event, epoch,
+round, block)`` set matches the serial streaming path exactly; the
+physical scheduling round rides along as the parallel-only
+``sched_round`` attr, and worker-scoped events (``oocore.worker_*``)
+are outside the equivalence contract.
 """
 
 from __future__ import annotations
 
 import queue as _queue
+import time
 from dataclasses import dataclass, field
 
 import multiprocessing
 import numpy as np
 
 from ..exceptions import ValidationError
-from ..obs import get_tracer
+from ..obs.live.events import get_event_log
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from .blocks import RowBlockSource, block_order
 from .streaming import StreamingFactorizer
 
@@ -94,9 +117,14 @@ def _worker_main(
     shm_u = shared_memory.SharedMemory(name=names["u"])
     shm_v = shared_memory.SharedMemory(name=names["v"])
     shm_g = shared_memory.SharedMemory(name=names["grads"])
+    shm_h = shared_memory.SharedMemory(name=names["heartbeat"])
     u = np.ndarray(shapes["u"], dtype=np.float64, buffer=shm_u.buf)
     v = np.ndarray(shapes["v"], dtype=np.float64, buffer=shm_v.buf)
     grads = np.ndarray(shapes["grads"], dtype=np.float64, buffer=shm_g.buf)
+    heartbeat = np.ndarray(
+        shapes["heartbeat"], dtype=np.float64, buffer=shm_h.buf
+    )
+    pulse = heartbeat[worker_id]
     live = slice(config["frozen_prefix"], None)
     n_rows = config["n_rows"]
     seed = config["seed"]
@@ -111,6 +139,12 @@ def _worker_main(
             if task is None:
                 break
             epoch, block_index, slot, lr = task
+            # Stamp the heartbeat BEFORE touching the block: a SIGKILL
+            # during the load still leaves the victim block on record.
+            pulse[1] = epoch
+            pulse[2] = block_index
+            pulse[3] = 1.0
+            pulse[0] = time.time()
             try:
                 block = source.block(block_index)
                 order = block_order(
@@ -138,16 +172,20 @@ def _worker_main(
                     ws, u_rows, residual, live, scale, cap, m,
                     out=grads[slot],
                 )
-                result_q.put(("ok", block_index, slot, sq, rows))
+                pulse[3] = 0.0
+                pulse[0] = time.time()
+                result_q.put(("ok", block_index, worker_id, slot, sq, rows))
             except Exception as exc:  # surfaced as RuntimeError by the parent
                 import traceback
 
+                pulse[3] = 0.0
+                pulse[0] = time.time()
                 result_q.put(
                     ("error", block_index, worker_id,
                      f"{exc!r}\n{traceback.format_exc()}")
                 )
     finally:
-        for shm in (shm_u, shm_v, shm_g):
+        for shm in (shm_u, shm_v, shm_g, shm_h):
             shm.close()
 
 
@@ -165,13 +203,17 @@ def fit_parallel(
     lr_decay: float = 0.0,
     start_method: str | None = None,
     timeout: float = 120.0,
+    stall_timeout: float = 5.0,
 ) -> OocoreFitResult:
     """Shard-parallel out-of-core fit with ``jobs`` worker processes.
 
     One batch per block (``batch_size == block_rows``) — the invariant
     that makes the round scheme well-defined.  ``timeout`` bounds the
     wait for any single worker result; exceeding it (or a worker dying)
-    raises :class:`RuntimeError` after cleanup.
+    raises :class:`RuntimeError` after cleanup.  ``stall_timeout`` is
+    the heartbeat-age threshold past which a still-working worker is
+    reported as stalled (an ``oocore.worker_stalled`` event, once per
+    ``(worker, epoch, block)``) without aborting the fit.
     """
     from multiprocessing import shared_memory
 
@@ -207,15 +249,28 @@ def fit_parallel(
     shm_g = shared_memory.SharedMemory(
         create=True, size=max(jobs * k * m_live * 8, 8)
     )
-    LAST_RUN_SHM_NAMES[:] = [shm_u.name, shm_v.name, shm_g.name]
+    shm_h = shared_memory.SharedMemory(create=True, size=jobs * 4 * 8)
+    LAST_RUN_SHM_NAMES[:] = [shm_u.name, shm_v.name, shm_g.name, shm_h.name]
     u = np.ndarray((n, k), dtype=np.float64, buffer=shm_u.buf)
     v = np.ndarray((k, m), dtype=np.float64, buffer=shm_v.buf)
     grads = np.ndarray((jobs, k, m_live), dtype=np.float64, buffer=shm_g.buf)
+    heartbeat = np.ndarray((jobs, 4), dtype=np.float64, buffer=shm_h.buf)
     np.copyto(u, u0)
     np.copyto(v, v0)
+    heartbeat[:] = 0.0
 
-    names = {"u": shm_u.name, "v": shm_v.name, "grads": shm_g.name}
-    shapes = {"u": (n, k), "v": (k, m), "grads": (jobs, k, m_live)}
+    names = {
+        "u": shm_u.name,
+        "v": shm_v.name,
+        "grads": shm_g.name,
+        "heartbeat": shm_h.name,
+    }
+    shapes = {
+        "u": (n, k),
+        "v": (k, m),
+        "grads": (jobs, k, m_live),
+        "heartbeat": (jobs, 4),
+    }
     config = {
         "frozen_prefix": int(frozen_prefix),
         "n_rows": n,
@@ -238,14 +293,64 @@ def fit_parallel(
 
     parent_ws = StochasticWorkspace()
     tracer = get_tracer()
+    events = get_event_log()
+    metrics = get_metrics()
+    stalls_reported: set[tuple[int, int, int]] = set()
+
+    def publish_heartbeats() -> None:
+        """Per-worker last-seen gauges + one-shot stall events."""
+        now = time.time()
+        for i in range(jobs):
+            ts = heartbeat[i, 0]
+            if ts <= 0.0:  # never stamped yet
+                continue
+            age = max(0.0, now - ts)
+            metrics.gauge(
+                "oocore.worker.last_seen_age_seconds", {"worker": str(i)}
+            ).set(age)
+            if heartbeat[i, 3] == 1.0 and age > stall_timeout:
+                key = (i, int(heartbeat[i, 1]), int(heartbeat[i, 2]))
+                if key not in stalls_reported:
+                    stalls_reported.add(key)
+                    if events.enabled:
+                        events.emit(
+                            "oocore.worker_stalled",
+                            level="warning",
+                            worker=key[0],
+                            epoch=key[1],
+                            block=key[2],
+                            age_seconds=age,
+                        )
+
+    def worker_post_mortem(index: int) -> tuple[int | None, int | None]:
+        """(epoch, block) the dead worker last stamped, if it ever did."""
+        if heartbeat[index, 0] <= 0.0:
+            return None, None
+        return int(heartbeat[index, 1]), int(heartbeat[index, 2])
+
     try:
         for p in workers:
             p.start()
+        if events.enabled:
+            events.emit(
+                "oocore.fit_start",
+                jobs=jobs,
+                epochs=int(epochs),
+                blocks=source.n_blocks,
+                n_rows=n,
+            )
+            for i, p in enumerate(workers):
+                events.emit("oocore.worker_start", worker=i, pid=p.pid)
         n_blocks = source.n_blocks
         for epoch in range(int(epochs)):
             lr = learning_rate / (1.0 + lr_decay * epoch)
             epoch_sq: dict[int, float] = {}
             epoch_rows = 0
+            epoch_t0 = time.perf_counter()
+            if events.enabled:
+                events.emit(
+                    "oocore.epoch_start", epoch=epoch, blocks=n_blocks
+                )
             with tracer.span(
                 "oocore:epoch", epoch=epoch, blocks=n_blocks, jobs=jobs
             ):
@@ -256,21 +361,44 @@ def fit_parallel(
                     for slot, block_index in enumerate(round_blocks):
                         task_q.put((epoch, block_index, slot, lr))
                     done: dict[int, int] = {}
+                    block_rows: dict[int, int] = {}
+                    block_worker: dict[int, int] = {}
                     idle = 0.0
                     while len(done) < len(round_blocks):
                         try:
                             result = result_q.get(timeout=0.2)
                         except _queue.Empty:
+                            publish_heartbeats()
                             dead = [
-                                p
-                                for p in workers
+                                (i, p)
+                                for i, p in enumerate(workers)
                                 if not p.is_alive() and p.exitcode != 0
                             ]
                             if dead:
+                                w_index, w_proc = dead[0]
+                                hb_epoch, hb_block = worker_post_mortem(
+                                    w_index
+                                )
+                                if events.enabled:
+                                    # Persisted BEFORE the raise: the
+                                    # post-mortem survives even when a
+                                    # caller swallows the RuntimeError.
+                                    events.emit(
+                                        "oocore.worker_died",
+                                        level="error",
+                                        worker=w_index,
+                                        pid=w_proc.pid,
+                                        exitcode=w_proc.exitcode,
+                                        epoch=hb_epoch,
+                                        round=hb_block,
+                                        block=hb_block,
+                                    )
                                 raise RuntimeError(
-                                    f"oocore worker pid={dead[0].pid} died "
-                                    f"with exit code {dead[0].exitcode} "
-                                    f"mid-epoch {epoch}; aborting the fit"
+                                    f"oocore worker {w_index} "
+                                    f"(pid={w_proc.pid}) died with exit "
+                                    f"code {w_proc.exitcode} mid-epoch "
+                                    f"{epoch} on block {hb_block}; "
+                                    "aborting the fit"
                                 )
                             idle += 0.2
                             if idle > timeout:
@@ -282,12 +410,24 @@ def fit_parallel(
                         idle = 0.0
                         if result[0] == "error":
                             _, block_index, worker_id, detail = result
+                            if events.enabled:
+                                events.emit(
+                                    "oocore.worker_error",
+                                    level="error",
+                                    worker=worker_id,
+                                    epoch=epoch,
+                                    round=block_index,
+                                    block=block_index,
+                                    detail=detail,
+                                )
                             raise RuntimeError(
                                 f"oocore worker {worker_id} failed on block "
                                 f"{block_index}: {detail}"
                             )
-                        _, block_index, slot, sq, rows = result
+                        _, block_index, worker_id, slot, sq, rows = result
                         done[block_index] = slot
+                        block_rows[block_index] = int(rows)
+                        block_worker[block_index] = int(worker_id)
                         epoch_sq[block_index] = float(sq)
                         epoch_rows += int(rows)
                     # Apply the V steps sequentially in ascending block
@@ -301,10 +441,36 @@ def fit_parallel(
                                 v, grads[done[block_index]], lr, live,
                                 parent_ws,
                             )
+                            if events.enabled:
+                                # round == block index: the V-step
+                                # application sequence number, shared
+                                # with the serial path.
+                                events.emit(
+                                    "oocore.block_done",
+                                    epoch=epoch,
+                                    round=block_index,
+                                    block=block_index,
+                                    rows=block_rows[block_index],
+                                    worker=block_worker[block_index],
+                                    sched_round=round_start // jobs,
+                                )
+                    metrics.counter("oocore.rounds_completed").inc()
+                    publish_heartbeats()
             sampled_objectives.append(
                 float(sum(epoch_sq[b] for b in sorted(epoch_sq)))
             )
             rows_touched.append(epoch_rows)
+            epoch_seconds = time.perf_counter() - epoch_t0
+            if epoch_seconds > 0:
+                metrics.gauge("oocore.rows_per_second").set(
+                    epoch_rows / epoch_seconds
+                )
+            if events.enabled:
+                events.emit(
+                    "oocore.epoch_done", epoch=epoch, rows=epoch_rows
+                )
+        if events.enabled:
+            events.emit("oocore.fit_done", epochs=int(epochs))
         u_out = np.array(u, copy=True)
         v_out = np.array(v, copy=True)
     finally:
@@ -320,7 +486,7 @@ def fit_parallel(
         for q in (task_q, result_q):
             q.close()
             q.cancel_join_thread()
-        for shm in (shm_u, shm_v, shm_g):
+        for shm in (shm_u, shm_v, shm_g, shm_h):
             shm.close()
             shm.unlink()
     return OocoreFitResult(
@@ -349,6 +515,7 @@ def fit_oocore(
     learning_rate: float = 1e-3,
     lr_decay: float = 0.0,
     start_method: str | None = None,
+    stall_timeout: float = 5.0,
 ) -> OocoreFitResult:
     """Route an out-of-core fit: in-process at ``jobs=1``, else workers.
 
@@ -363,6 +530,7 @@ def fit_oocore(
             epochs=epochs, jobs=jobs, frozen_prefix=frozen_prefix,
             shuffle=shuffle, seed=seed, learning_rate=learning_rate,
             lr_decay=lr_decay, start_method=start_method,
+            stall_timeout=stall_timeout,
         )
     streamer = StreamingFactorizer(
         source.n_rows,

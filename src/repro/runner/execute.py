@@ -30,6 +30,12 @@ runs produce one merged JSONL with the same tree shape.  Per-run
 metrics (cache hits/misses/stores, cells executed, per-cell wall-time
 distribution) land in the manifest's ``metrics`` section and, when
 tracing, as a ``metrics`` event in the trace.
+
+With a structured event log installed (:mod:`repro.obs.live`), the
+parent additionally emits ``runner.run_start`` / ``cell_start`` /
+``cell_done`` / ``cell_cached`` / ``run_done`` records plus a final
+``metrics.snapshot`` - parent-only, so serial and ``--jobs N`` runs
+write identical record sets.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Any
 
+from ..obs.live.events import get_event_log
 from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.trace import collecting_tracer, get_tracer, trace_to, use_tracer
 from .cache import ResultCache, cache_key
@@ -201,6 +208,16 @@ def run_grid(grid: RunGrid, config: RunnerConfig | None = None) -> RunOutcome:
         keys = [cache_key(spec) for spec in grid.cells]
         records: list[dict[str, Any] | None] = [None] * len(grid.cells)
         pending: list[int] = []
+        event_log = get_event_log()
+        if event_log.enabled:
+            # Parent-only: worker processes never touch the event log,
+            # so serial and --jobs N runs write identical record sets.
+            event_log.emit(
+                "runner.run_start",
+                experiment=grid.experiment,
+                n_cells=len(grid.cells),
+                jobs=config.jobs,
+            )
 
         with tracer.span(
             "run", experiment=grid.experiment, n_cells=len(grid.cells)
@@ -222,6 +239,13 @@ def run_grid(grid: RunGrid, config: RunnerConfig | None = None) -> RunOutcome:
                          "wall_seconds": 0.0},
                         cache_hit=True,
                     )
+                    if event_log.enabled:
+                        event_log.emit(
+                            "runner.cell_cached",
+                            index=index,
+                            kind=spec.kind,
+                            cell_key=keys[index],
+                        )
                 else:
                     pending.append(index)
 
@@ -237,6 +261,14 @@ def run_grid(grid: RunGrid, config: RunnerConfig | None = None) -> RunOutcome:
                 records[index] = _record(
                     index, spec, keys[index], payload, cache_hit=False
                 )
+                if event_log.enabled:
+                    event_log.emit(
+                        "runner.cell_done",
+                        index=index,
+                        kind=spec.kind,
+                        cell_key=keys[index],
+                        seconds=float(payload.get("wall_seconds", 0.0)),
+                    )
                 if cache is not None and not spec.volatile:
                     cache.store(
                         keys[index],
@@ -249,8 +281,18 @@ def run_grid(grid: RunGrid, config: RunnerConfig | None = None) -> RunOutcome:
                         },
                     )
 
+            def _cell_start(index: int) -> None:
+                if event_log.enabled:
+                    event_log.emit(
+                        "runner.cell_start",
+                        index=index,
+                        kind=grid.cells[index].kind,
+                        cell_key=keys[index],
+                    )
+
             if pending and config.jobs <= 1:
                 for index in pending:
+                    _cell_start(index)
                     _complete(
                         index,
                         execute_cell(
@@ -261,13 +303,15 @@ def run_grid(grid: RunGrid, config: RunnerConfig | None = None) -> RunOutcome:
             elif pending:
                 workers = min(int(config.jobs), len(pending))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = {
-                        pool.submit(
-                            execute_cell, grid.cells[index], tracing,
-                            {"index": index},
-                        ): index
-                        for index in pending
-                    }
+                    futures = {}
+                    for index in pending:
+                        _cell_start(index)
+                        futures[
+                            pool.submit(
+                                execute_cell, grid.cells[index], tracing,
+                                {"index": index},
+                            )
+                        ] = index
                     remaining = set(futures)
                     while remaining:
                         done, remaining = wait(
@@ -286,6 +330,16 @@ def run_grid(grid: RunGrid, config: RunnerConfig | None = None) -> RunOutcome:
         metrics = registry.snapshot()
         if tracing:
             tracer.emit({"type": "metrics", "values": metrics})
+        if event_log.enabled:
+            event_log.emit(
+                "runner.run_done",
+                experiment=grid.experiment,
+                n_cells=len(grid.cells),
+                executed=len(pending),
+                cache_hits=sum(1 for r in records if r and r["cache_hit"]),
+                seconds=run_span.duration,
+            )
+            event_log.emit_metrics(registry)
 
         trace_info = None
         if tracing:

@@ -10,8 +10,13 @@
   server's lifetime, so steady-state batches allocate no scratch;
 - every batch runs under an obs span (``serving.fold_in``) and feeds
   the metrics registry: an imputation counter, a rows-per-request
-  histogram, and request-latency quantile histograms whose p50/p99 the
-  serving benchmark records.
+  histogram, an in-flight gauge, and request-latency quantile
+  histograms whose p50/p99 the serving benchmark records;
+- with an event log installed each request also emits structured
+  ``serving.request_start`` / ``request_done`` / ``request_error``
+  records carrying a process-unique request id, and an optional
+  :class:`~repro.obs.live.Sampler` downsamples *tracing* (spans +
+  histogram exemplars) without ever downsampling errors.
 
 The server is intentionally synchronous - the paper's serving story is
 about the *math* being O(M K^2) per row, not about I/O plumbing - but
@@ -22,6 +27,7 @@ identically.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import Any
 
 import numpy as np
@@ -29,6 +35,8 @@ import numpy as np
 from ..engine.workspace import BufferArena
 from ..exceptions import ValidationError
 from ..model.fitted import FittedModel
+from ..obs.live.events import get_event_log, next_request_id
+from ..obs.live.sampling import Sampler
 from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.trace import get_tracer
 from .foldin import DEFAULT_RIDGE, FoldInResult, fold_in
@@ -41,6 +49,12 @@ small enough that the ``(B, K, K)`` Gram slab stays cache-friendly."""
 
 #: Metric names the server populates (all under this prefix).
 METRIC_PREFIX = "serving"
+
+_EV_REQUEST_START = f"{METRIC_PREFIX}.request_start"
+_EV_REQUEST_DONE = f"{METRIC_PREFIX}.request_done"
+_EV_REQUEST_ERROR = f"{METRIC_PREFIX}.request_error"
+_SPAN_FOLD_IN = f"{METRIC_PREFIX}.fold_in"
+_NULL_SPAN = nullcontext()  # reusable/reentrant; saves an allocation per request
 
 
 class FoldInServer:
@@ -61,6 +75,13 @@ class FoldInServer:
     metrics:
         Destination registry (default: the ambient
         :func:`repro.obs.get_metrics` registry).
+    sampler:
+        Optional per-request trace :class:`~repro.obs.live.Sampler`.
+        When set, only sampled requests open a ``serving.fold_in`` span
+        (and contribute exemplar request ids to the latency histogram);
+        error events are emitted unconditionally regardless of the
+        sampling decision.  ``None`` keeps every request traced, the
+        pre-sampling behaviour.
     """
 
     def __init__(
@@ -71,6 +92,7 @@ class FoldInServer:
         spatial_smoothing: float | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         metrics: MetricsRegistry | None = None,
+        sampler: Sampler | None = None,
     ) -> None:
         if isinstance(model, str):
             model = FittedModel.load(model)
@@ -86,10 +108,25 @@ class FoldInServer:
         self.spatial_smoothing = spatial_smoothing
         self.batch_size = int(batch_size)
         self.metrics = metrics if metrics is not None else get_metrics()
+        self.sampler = sampler
         self._arena = BufferArena()
-        self._requests = 0
-        self._rows = 0
-        self._busy_seconds = 0.0
+        # Instruments are resolved once: the request path then costs
+        # attribute arithmetic, not five lock-guarded registry lookups.
+        # Lifetime totals (requests/rows/busy seconds) are read back off
+        # the instruments rather than shadow-counted.
+        registry = self.metrics
+        self._m_requests = registry.counter(f"{METRIC_PREFIX}.requests")
+        self._m_imputations = registry.counter(f"{METRIC_PREFIX}.imputations")
+        self._m_errors = registry.counter(f"{METRIC_PREFIX}.errors")
+        self._m_in_flight = registry.gauge(f"{METRIC_PREFIX}.in_flight")
+        self._m_in_flight.set(0)
+        self._m_rows = registry.histogram(f"{METRIC_PREFIX}.rows_per_request")
+        self._m_request_seconds = registry.quantile_histogram(
+            f"{METRIC_PREFIX}.request_seconds"
+        )
+        self._m_row_seconds = registry.quantile_histogram(
+            f"{METRIC_PREFIX}.row_seconds"
+        )
 
     # ------------------------------------------------------------- serving
 
@@ -121,30 +158,98 @@ class FoldInServer:
                     mask = mask_arr[None, :]
         mask_arr = None if mask is None else np.asarray(mask)
 
+        events = get_event_log()
+        n_rows = int(x_arr.shape[0])
+        # The sampling decision gates only the success-path span (and
+        # the exemplar); errors are always recorded - a failing request
+        # must never be invisible because the coin said no.
+        sampled = self.sampler.sample() if self.sampler is not None else True
+        # A request id is only minted when someone will see it: the
+        # event log, or an exemplar from an explicitly sampled trace.
+        request_id = (
+            next_request_id()
+            if (events.enabled or (self.sampler is not None and sampled))
+            else None
+        )
+        if events.enabled:
+            events.emit(
+                _EV_REQUEST_START,
+                request_id=request_id,
+                rows=n_rows,
+                sampled=sampled,
+            )
+        self._m_in_flight.inc()
+        tracer = get_tracer()
+        span = (
+            tracer.span(
+                _SPAN_FOLD_IN,
+                rows=n_rows,
+                method=self.model.method,
+                request_id=request_id,
+            )
+            if sampled and tracer.enabled
+            else _NULL_SPAN
+        )
         t_start = time.perf_counter()
-        chunks: list[FoldInResult] = []
-        with get_tracer().span(
-            f"{METRIC_PREFIX}.fold_in",
-            rows=int(x_arr.shape[0]),
-            method=self.model.method,
-        ):
-            for lo in range(0, x_arr.shape[0], self.batch_size):
-                hi = lo + self.batch_size
-                chunk_mask = None if mask_arr is None else mask_arr[lo:hi]
-                chunks.append(
-                    fold_in(
-                        self.model,
-                        x_arr[lo:hi],
-                        chunk_mask,
-                        ridge=self.ridge,
-                        spatial_smoothing=self.spatial_smoothing,
-                        arena=self._arena,
-                    )
+        try:
+            with span:
+                if n_rows <= self.batch_size:
+                    # Single-batch fast path: the common serving case
+                    # skips the chunk list and concatenation entirely.
+                    chunks = [
+                        fold_in(
+                            self.model,
+                            x_arr,
+                            mask_arr,
+                            ridge=self.ridge,
+                            spatial_smoothing=self.spatial_smoothing,
+                            arena=self._arena,
+                        )
+                    ]
+                else:
+                    chunks = []
+                    for lo in range(0, x_arr.shape[0], self.batch_size):
+                        hi = lo + self.batch_size
+                        chunk_mask = None if mask_arr is None else mask_arr[lo:hi]
+                        chunks.append(
+                            fold_in(
+                                self.model,
+                                x_arr[lo:hi],
+                                chunk_mask,
+                                ridge=self.ridge,
+                                spatial_smoothing=self.spatial_smoothing,
+                                arena=self._arena,
+                            )
+                        )
+        except Exception as exc:
+            elapsed = time.perf_counter() - t_start
+            self._m_errors.inc()
+            if events.enabled:
+                events.emit(
+                    _EV_REQUEST_ERROR,
+                    level="error",
+                    request_id=request_id,
+                    rows=n_rows,
+                    seconds=elapsed,
+                    error=type(exc).__name__,
+                    detail=str(exc),
                 )
+            raise
+        finally:
+            self._m_in_flight.dec()
         elapsed = time.perf_counter() - t_start
 
-        result = self._combine(chunks)
-        self._record(result.n_rows, elapsed)
+        result = chunks[0] if len(chunks) == 1 else self._combine(chunks)
+        self._record(
+            n_rows, elapsed, exemplar=request_id if sampled else None
+        )
+        if events.enabled:
+            events.emit(
+                _EV_REQUEST_DONE,
+                request_id=request_id,
+                rows=n_rows,
+                seconds=elapsed,
+            )
         return result
 
     @staticmethod
@@ -163,36 +268,43 @@ class FoldInServer:
 
     # ------------------------------------------------------------- telemetry
 
-    def _record(self, n_rows: int, elapsed: float) -> None:
-        self._requests += 1
-        self._rows += n_rows
-        self._busy_seconds += elapsed
-        self.metrics.counter(f"{METRIC_PREFIX}.requests").inc()
-        self.metrics.counter(f"{METRIC_PREFIX}.imputations").inc(n_rows)
-        self.metrics.histogram(f"{METRIC_PREFIX}.rows_per_request").observe(n_rows)
-        self.metrics.quantile_histogram(
-            f"{METRIC_PREFIX}.request_seconds"
-        ).observe(elapsed)
+    def _record(
+        self, n_rows: int, elapsed: float, exemplar: str | None = None
+    ) -> None:
+        self._m_requests.inc()
+        self._m_imputations.inc(n_rows)
+        self._m_rows.observe(n_rows)
+        self._m_request_seconds.observe(elapsed, exemplar=exemplar)
         if n_rows:
-            self.metrics.quantile_histogram(
-                f"{METRIC_PREFIX}.row_seconds"
-            ).observe(elapsed / n_rows)
+            self._m_row_seconds.observe(elapsed / n_rows, exemplar=exemplar)
+
+    @property
+    def _requests(self) -> int:
+        return self._m_requests.value
+
+    @property
+    def _rows(self) -> int:
+        return self._m_imputations.value
+
+    @property
+    def _busy_seconds(self) -> float:
+        return self._m_request_seconds.total
 
     def stats(self) -> dict[str, Any]:
         """Server-lifetime summary: throughput and latency quantiles."""
-        latency = self.metrics.quantile_histogram(
-            f"{METRIC_PREFIX}.request_seconds"
-        )
+        latency = self._m_request_seconds
+        busy = latency.total
+        rows = self._m_imputations.value
         return {
             "method": self.model.method,
             "rank": self.model.rank,
             "n_cols": self.model.n_cols,
             "batch_size": self.batch_size,
-            "requests": self._requests,
-            "rows": self._rows,
-            "busy_seconds": self._busy_seconds,
+            "requests": self._m_requests.value,
+            "rows": rows,
+            "busy_seconds": busy,
             "imputations_per_second": (
-                self._rows / self._busy_seconds if self._busy_seconds > 0 else None
+                rows / busy if busy > 0 else None
             ),
             "latency_p50_seconds": latency.quantile(0.50),
             "latency_p99_seconds": latency.quantile(0.99),

@@ -11,6 +11,7 @@ from repro.bench import (
     ACCEPTED_METRICS,
     BENCH_SCHEMAS,
     bench_name_from_path,
+    bench_path,
     check_metrics,
     read_bench_json,
     validate_bench_payload,
@@ -18,10 +19,13 @@ from repro.bench import (
 from repro.bench.schema import iter_paths
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "results")
-COMMITTED = sorted(glob.glob(os.path.join(RESULTS_DIR, "BENCH_*.json")))
+COMMITTED = sorted(
+    glob.glob(os.path.join(RESULTS_DIR, "BENCH_*.json"))
+    + glob.glob(os.path.join(RESULTS_DIR, "SLO_*.json"))
+)
 EXPECTED_NAMES = (
-    "engine", "kernels", "obs", "oocore", "runner", "serving", "stochastic",
-    "sweep",
+    "SLO_serving", "engine", "kernels", "obs", "oocore", "runner", "serving",
+    "stochastic", "sweep",
 )
 
 
@@ -111,15 +115,13 @@ class TestCheckMetrics:
 
     def test_null_flag_skipped(self):
         payload = read_bench_json(os.path.join(RESULTS_DIR, "BENCH_obs.json"))
-        payload["acceptance"]["disabled_within_2pct_of_baseline"] = None
+        payload["acceptance"]["disabled_within_5pct_of_baseline"] = None
         assert check_metrics("obs", payload) == []
 
     def test_every_accepted_metric_resolves_in_its_baseline(self):
         # The contract table must not drift away from what writers emit.
         for name, checks in ACCEPTED_METRICS.items():
-            payload = read_bench_json(
-                os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
-            )
+            payload = read_bench_json(bench_path(name, RESULTS_DIR))
             for check in checks:
                 resolved = list(iter_paths(payload, check.path))
                 assert resolved, (name, check.path)
