@@ -143,6 +143,30 @@ BENCH_SCHEMAS: dict[str, tuple[tuple[str, str], ...]] = {
         ("acceptance.bounded_peak_memory", "bool"),
         ("acceptance.landmark_block_intact", "bool"),
     ),
+    "batched": (
+        ("grid", "dict"),
+        ("grid.dataset", "str"),
+        ("grid.methods", "list"),
+        ("grid.seeds", "int"),
+        ("grid.n_cells", "int"),
+        ("grid.rank", "int"),
+        ("grid.max_iter", "int"),
+        ("smoke", "bool"),
+        ("looped.total_seconds", "number"),
+        ("looped.per_cell_seconds", "number"),
+        ("batched.total_seconds", "number"),
+        ("batched.per_cell_seconds", "number"),
+        ("per_cell_speedup", "number"),
+        ("b1.plain_seconds", "number"),
+        ("b1.batched_seconds", "number"),
+        ("b1.ratio", "number"),
+        ("equivalence.bit_identical", "bool"),
+        ("equivalence.max_factor_deviation", "number"),
+        ("equivalence.n_iter_match", "bool"),
+        ("acceptance", "dict"),
+        ("acceptance.batched_bit_identical", "bool"),
+        ("acceptance.n_iter_match", "bool"),
+    ),
     "SLO_serving": (
         ("slo_schema_version", "int"),
         ("recorded.requests", "int"),
@@ -219,6 +243,15 @@ ACCEPTED_METRICS: dict[str, tuple[MetricCheck, ...]] = {
     "oocore": (
         MetricCheck("equivalence.objective_ratio", "max", 1.05),
         MetricCheck("equivalence.parallel_max_rel_deviation", "max", 0.05),
+        MetricCheck("acceptance.*", "flag"),
+    ),
+    "batched": (
+        # Bit-identity is the contract; the documented fallback
+        # tolerance (Gram-cache opt-in) is <= 1e-12.  Wall-clock
+        # targets are machine-dependent, so the speedup / B=1-overhead
+        # ratchets live in the recorded acceptance flags (computed
+        # in-run, where both sides ran on the same machine).
+        MetricCheck("equivalence.max_factor_deviation", "max", 1e-12),
         MetricCheck("acceptance.*", "flag"),
     ),
     "SLO_serving": (

@@ -21,6 +21,7 @@ registered kernel, but the base implementation — look the kernel up by
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -38,6 +39,7 @@ from ..engine.workspace import (
     KERNEL_PATHS,
     KernelWorkspace,
     build_kernel_workspace,
+    resolve_kernel_path,
 )
 from ..exceptions import NotFittedError, ValidationError
 from ..masking.mask import ObservationMask
@@ -60,7 +62,12 @@ from .initialization import init_factors
 from .objective import masked_frobenius_sq
 from .updates import frozen_column_prefix
 
-__all__ = ["FactorizationResult", "MatrixFactorizationBase", "clip_columns_to_observed"]
+__all__ = [
+    "FactorizationResult",
+    "FitPlan",
+    "MatrixFactorizationBase",
+    "clip_columns_to_observed",
+]
 
 
 def _clip_columns_to_observed(
@@ -78,6 +85,30 @@ clip_columns_to_observed = _clip_columns_to_observed
 
 UPDATE_RULES = available_kernels()
 """Update strategies of Section III-B (the registered kernel names)."""
+
+
+@dataclass
+class FitPlan:
+    """Everything :meth:`MatrixFactorizationBase.fit` prepares before
+    the iteration loop starts.
+
+    Produced by ``_fit_setup`` and consumed by ``_fit_finish``; the
+    batched multi-fit path (:mod:`repro.core.batched_fit`) reuses the
+    same two stages around :func:`repro.engine.batched.multi_fit`, so
+    per-model pre/post-loop computation — input coercion, graph and
+    landmark preparation, factor initialisation, fitted-state
+    extraction — is identical between the looped and batched paths by
+    construction.
+    """
+
+    x: np.ndarray
+    observation: ObservationMask
+    x_observed: np.ndarray
+    observed: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+    frozen: np.ndarray | None
+    telemetry: Telemetry
 
 
 class _FactorSolver(Solver):
@@ -371,6 +402,38 @@ class MatrixFactorizationBase:
             :class:`~repro.engine.Telemetry` (e.g. recorders for the
             invariant tests).
         """
+        plan = self._fit_setup(x, mask)
+        self._run_fit_plan(plan, callbacks=callbacks)
+        return self
+
+    def _run_fit_plan(
+        self, plan: FitPlan, *, callbacks: tuple[Callback, ...] = ()
+    ) -> None:
+        """Drive a prepared :class:`FitPlan` through the iterative engine."""
+        engine = IterativeEngine(
+            max_iter=self.max_iter,
+            tol=self.tol,
+            eval_every=self.eval_every,
+            callbacks=(plan.telemetry, *callbacks),
+        )
+        outcome = engine.run(
+            _FactorSolver(self, plan.x_observed, plan.observed), (plan.u, plan.v)
+        )
+        self._fit_finish(
+            plan,
+            state=outcome.state,
+            n_iter=outcome.n_iter,
+            converged=outcome.converged,
+            objective_history=outcome.objective_history,
+        )
+
+    def _fit_setup(self, x: np.ndarray, mask: object = None) -> FitPlan:
+        """Everything ``fit`` does before the iteration loop.
+
+        Shared verbatim between the looped path (:meth:`fit`) and the
+        batched multi-fit path, so both draw the same RNG stream, build
+        the same graphs/landmarks, and start from identical factors.
+        """
         t_setup = time.perf_counter()
         x, observation = self._coerce_input(x, mask)
         check_rank(self.rank, x.shape[0], x.shape[1], name="rank")
@@ -425,47 +488,125 @@ class MatrixFactorizationBase:
         else:
             telemetry = Telemetry(method=self.method)
         telemetry.setup_seconds = time.perf_counter() - t_setup
-
-        engine = IterativeEngine(
-            max_iter=self.max_iter,
-            tol=self.tol,
-            eval_every=self.eval_every,
-            callbacks=(telemetry, *callbacks),
+        return FitPlan(
+            x=x,
+            observation=observation,
+            x_observed=x_observed,
+            observed=observed,
+            u=u,
+            v=v,
+            frozen=frozen,
+            telemetry=telemetry,
         )
-        outcome = engine.run(_FactorSolver(self, x_observed, observed), (u, v))
 
-        self.u_, self.v_ = outcome.state
-        self.n_iter_ = outcome.n_iter
-        self.converged_ = outcome.converged
-        self.objective_history_ = list(outcome.objective_history)
-        workspace = self._workspace
-        self.fit_report_ = telemetry.report(
-            u=self.u_.copy(),
-            v=self.v_.copy(),
-            sampled_objectives=(
-                tuple(workspace.sampled_objectives) if workspace is not None else ()
-            ),
-            rows_touched=(
-                tuple(workspace.rows_touched) if workspace is not None else ()
-            ),
-        )
-        self._fit_x = x
-        self._fit_mask = observation
+    def _fit_finish(
+        self,
+        plan: FitPlan,
+        *,
+        state: tuple[np.ndarray, np.ndarray],
+        n_iter: int,
+        converged: bool,
+        objective_history,
+        report: FitReport | None = None,
+    ) -> None:
+        """Install the fitted state and extract the model-layer artifact.
+
+        ``report=None`` (the looped path) assembles the report from the
+        plan's telemetry; the batched path passes the per-member report
+        its engine already built.
+        """
+        self.u_, self.v_ = state
+        self.n_iter_ = n_iter
+        self.converged_ = converged
+        self.objective_history_ = list(objective_history)
+        if report is not None:
+            self.fit_report_ = report
+        else:
+            workspace = self._workspace
+            self.fit_report_ = plan.telemetry.report(
+                u=self.u_.copy(),
+                v=self.v_.copy(),
+                sampled_objectives=(
+                    tuple(workspace.sampled_objectives)
+                    if workspace is not None
+                    else ()
+                ),
+                rows_touched=(
+                    tuple(workspace.rows_touched) if workspace is not None else ()
+                ),
+            )
+        self._fit_x = plan.x
+        self._fit_mask = plan.observation
         # Extract the fitted state into the model layer: everything
         # imputation and serving need, decoupled from this solver.
         self.fitted_model_ = FittedModel.from_factors(
             method=self.method,
             u=self.u_,
             v=self.v_,
-            x_observed=x_observed,
-            observed=observed,
+            x_observed=plan.x_observed,
+            observed=plan.observed,
             update_rule=self.update_rule,
             kernel_path=self.kernel_path,
             n_spatial=int(getattr(self, "n_spatial", 0)),
             landmark_values=self._landmark_values(),
             clip_to_observed=self.clip_to_observed,
         )
-        return self
+
+    # ------------------------------------------------------- batched seam
+
+    def _batched_terms(self) -> dict:
+        """Graph/penalty operators the batched engine needs to replicate
+        ``_kernel_context`` and ``_objective`` for this model.
+
+        Must be overridden *together with* any ``_objective`` /
+        ``_kernel_context`` override (SMF does) — the batched planner
+        refuses models that customise those hooks without declaring
+        their batched terms, so a subclass can never be silently
+        mis-batched.  Called after ``_fit_setup`` (structures built).
+        """
+        return {
+            "lam": 0.0,
+            "similarity": None,
+            "degree": None,
+            "laplacian": None,
+            "penalty_op": None,
+        }
+
+    def batchable(self, observed: np.ndarray) -> bool:
+        """Whether this fit can run through the batched multi-fit engine
+        with bit-identical results.
+
+        Requires the batch method with a dense-workspace-resolved
+        kernel path, the base ``_step``, and either the base
+        ``_objective``/``_kernel_context`` or an explicit
+        :meth:`_batched_terms` override describing the custom terms.
+        """
+        if self.fit_method != "batch":
+            return False
+        if self.update_rule not in ("multiplicative", "gradient"):
+            return False
+        cls = type(self)
+        if cls._step is not MatrixFactorizationBase._step:
+            return False
+        declares_terms = (
+            cls._batched_terms is not MatrixFactorizationBase._batched_terms
+        )
+        custom_objective = (
+            cls._objective is not MatrixFactorizationBase._objective
+        )
+        custom_context = (
+            cls._kernel_context is not MatrixFactorizationBase._kernel_context
+        )
+        if (custom_objective or custom_context) and not declares_terms:
+            return False
+        resolved = resolve_kernel_path(
+            # "batched"/"numba" resolve through the registry seam; only
+            # the dense workspace path is batchable bit-identically.
+            self.kernel_path,
+            update_rule=self.update_rule,
+            observed=observed,
+        )
+        return resolved in ("workspace", "numba")
 
     def reconstruct(self) -> np.ndarray:
         """``X* = U* V*``: the model's full reconstruction."""

@@ -144,6 +144,24 @@ class SMF(MatrixFactorizationBase):
             kernel_workspace=self._kernel_workspace,
         )
 
+    def _batched_terms(self) -> dict:
+        """Batched-engine mirror of :meth:`_kernel_context` + :meth:`_objective`.
+
+        Same operator choices as the looped fit: the multiplicative
+        kernel and the objective penalty consume the *sparse* views,
+        the gradient kernel the dense Laplacian — so the batched per-fit
+        graph terms run in the exact reference op order.
+        """
+        if self.similarity_ is None or self.degree_ is None or self.laplacian_ is None:
+            raise ValidationError("fit must prepare the spatial graph first")
+        return {
+            "lam": self.lam,
+            "similarity": self._similarity_op,
+            "degree": self.degree_,
+            "laplacian": self.laplacian_,
+            "penalty_op": self._laplacian_op,
+        }
+
     def feature_locations(self) -> np.ndarray:
         """Learned feature locations: the first ``L`` columns of V.
 

@@ -27,6 +27,14 @@ Architecture (see DESIGN.md section "Engine layer")::
   :class:`KernelWorkspace` (preallocated fused update buffers, the
   frozen-landmark Gram cache, the sparse-observed gather/scatter
   kernels) selected per fit via the models' ``kernel_path`` option;
+- :mod:`repro.engine.backends` - the kernel backend registry behind
+  ``kernel_path``: named workspace factories (reference / workspace /
+  sparse / batched / the optional compiled ``numba`` backend) with
+  availability probing and clean fallback;
+- :mod:`repro.engine.batched` - the batched multi-fit kernel:
+  :func:`multi_fit` stacks ``B`` same-shape fits into 3-D gemms with
+  per-fit convergence dropout, bit-identical to looped single fits
+  (``python -m repro.engine.timing --batched`` measures it);
 - :mod:`repro.engine.timing` - telemetry-driven timing helpers, the
   SMF-vs-SMFL micro-benchmark (Figure 9's per-iteration cost claim),
   and the stochastic-vs-full-batch benchmark
@@ -36,6 +44,14 @@ Architecture (see DESIGN.md section "Engine layer")::
 old name is an alias of the new class.
 """
 
+from .backends import (
+    Backend,
+    available_backends,
+    backend_available,
+    get_backend,
+    register_backend,
+)
+from .batched import BatchedFit, BatchedWorkspace, MultiFitReport, multi_fit
 from .callbacks import Callback, IterationRecord, Telemetry
 from .core import EngineOutcome, IterativeEngine
 from .kernels import (
@@ -65,9 +81,18 @@ from .workspace import (
 )
 
 __all__ = [
+    "Backend",
     "BatchScheduler",
+    "BatchedFit",
+    "BatchedWorkspace",
     "BufferArena",
     "Callback",
+    "MultiFitReport",
+    "available_backends",
+    "backend_available",
+    "get_backend",
+    "multi_fit",
+    "register_backend",
     "ConvergenceMonitor",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_MAX_ITER",

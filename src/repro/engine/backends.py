@@ -1,0 +1,183 @@
+"""Kernel-backend registry: the seam behind ``kernel_path``.
+
+``kernel_path`` used to be a closed three-way switch inside
+:func:`~repro.engine.workspace.resolve_kernel_path`.  This module turns
+it into a registry of named backends so new execution strategies (the
+batched multi-fit engine, the optional numba-compiled fused loops) plug
+in without the resolver growing special cases per backend:
+
+``reference``
+    The naive allocating rules in :mod:`repro.core.updates` — no
+    workspace is constructed (``make_workspace`` returns ``None``).
+``workspace``
+    The allocation-free dense :class:`~repro.engine.workspace.KernelWorkspace`
+    (bit-identical to the reference rules).
+``sparse``
+    The sparse-observed fast path (same class, ``mode="sparse"``).
+``batched``
+    The 3-D multi-fit engine (:mod:`repro.engine.batched`).  It has no
+    single-fit workspace — a lone fit routed at ``kernel_path="batched"``
+    resolves to ``workspace`` — so its entry documents the seam and the
+    multi-fit entry point.
+``numba``
+    Compiled fused per-element update loops
+    (:mod:`repro.engine.numba_backend`), available only when the
+    ``[compiled]`` extra is installed.  Absent numba, resolution falls
+    back to ``workspace`` with **no behavior change** (the fused loops
+    perform the identical per-entry rounding sequence, enforced by the
+    bit-exactness tests).
+
+The registry is deliberately small: a backend is a name, a description,
+an availability probe, and a workspace factory with the
+:func:`~repro.engine.workspace.build_kernel_workspace` signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "Backend",
+    "available_backends",
+    "backend_available",
+    "get_backend",
+    "register_backend",
+]
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One named kernel-execution strategy."""
+
+    name: str
+    description: str
+    #: Probe run at resolution time; an unavailable backend falls back
+    #: (never errors) so optional compiled deps stay optional.
+    available: Callable[[], bool] = field(default=lambda: True)
+    #: Factory with the build_kernel_workspace tail signature; ``None``
+    #: marks a backend that constructs no per-fit workspace.
+    factory: Callable[..., object] | None = None
+
+    def make_workspace(
+        self,
+        x_observed: np.ndarray,
+        observed: np.ndarray,
+        *,
+        frozen_prefix: int | None = None,
+        v0: np.ndarray | None = None,
+    ) -> object | None:
+        if self.factory is None:
+            return None
+        return self.factory(
+            x_observed, observed, frozen_prefix=frozen_prefix, v0=v0
+        )
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Register (or replace) a backend under its name."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown kernel backend {name!r}; "
+            f"registered: {tuple(sorted(_REGISTRY))}"
+        ) from None
+
+
+def backend_available(name: str) -> bool:
+    """``True`` when ``name`` is registered and its probe passes."""
+    backend = _REGISTRY.get(name)
+    return backend is not None and bool(backend.available())
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of every registered backend whose probe passes."""
+    return tuple(sorted(n for n in _REGISTRY if backend_available(n)))
+
+
+# --------------------------------------------------------------- built-ins
+
+
+def _dense_workspace(x_observed, observed, *, frozen_prefix=None, v0=None):
+    from .workspace import KernelWorkspace
+
+    return KernelWorkspace(
+        x_observed, observed, mode="dense", frozen_prefix=frozen_prefix, v0=v0
+    )
+
+
+def _sparse_workspace(x_observed, observed, *, frozen_prefix=None, v0=None):
+    from .workspace import KernelWorkspace
+
+    return KernelWorkspace(
+        x_observed, observed, mode="sparse", frozen_prefix=frozen_prefix, v0=v0
+    )
+
+
+def _numba_importable() -> bool:
+    from .numba_backend import NUMBA_AVAILABLE
+
+    return NUMBA_AVAILABLE
+
+
+def _numba_workspace(x_observed, observed, *, frozen_prefix=None, v0=None):
+    from .numba_backend import NumbaWorkspace
+
+    return NumbaWorkspace(
+        x_observed, observed, mode="dense", frozen_prefix=frozen_prefix, v0=v0
+    )
+
+
+register_backend(
+    Backend(
+        name="reference",
+        description="naive allocating update rules (bit-exact ground truth)",
+    )
+)
+register_backend(
+    Backend(
+        name="workspace",
+        description="allocation-free dense kernels, bit-identical to reference",
+        factory=_dense_workspace,
+    )
+)
+register_backend(
+    Backend(
+        name="sparse",
+        description="sparse-observed fast path for high missing rates",
+        factory=_sparse_workspace,
+    )
+)
+register_backend(
+    Backend(
+        name="batched",
+        description=(
+            "3-D multi-fit stacking (repro.engine.batched.multi_fit); "
+            "single fits resolve to the dense workspace"
+        ),
+    )
+)
+register_backend(
+    Backend(
+        name="numba",
+        description=(
+            "compiled fused per-element update loops "
+            "(optional [compiled] extra; falls back to workspace)"
+        ),
+        available=_numba_importable,
+        factory=_numba_workspace,
+    )
+)

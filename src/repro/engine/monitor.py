@@ -96,12 +96,23 @@ class ConvergenceMonitor:
         an *increase* never does — it increments :attr:`n_increases`
         and the solver keeps going (the gradient rule can overshoot,
         and the post-overshoot iterate is not a fixed point).
+
+        Counter contract (pinned by the regression tests and relied on
+        by the batched engine's convergence-dropout path, which keeps
+        one monitor per stacked fit): :attr:`n_increases` is
+        **cumulative for the whole fit** — it never resets on a later
+        decrease — so a fit reports the same count whether it ran
+        looped or inside a batch, whatever order its increases arrived
+        in.  A non-finite objective following a finite one counts as an
+        increase (the comparison is "not a decrease", so NaN lands in
+        the increase branch rather than silently in neither).
         """
         objective = float(objective)
         if self.history:
             prev = self.history[-1]
             decrease = prev - objective
-            if decrease < 0:
+            if not (decrease >= 0.0):
+                # Increase or NaN: never convergence, always counted.
                 self.n_increases += 1
             else:
                 denom = max(abs(prev), 1e-12)

@@ -1,0 +1,106 @@
+"""Optional numba-compiled fused update loops (``kernel_path="numba"``).
+
+The dense workspace funnels every per-element stage of its updates
+through exactly two seam methods —
+:meth:`~repro.engine.workspace.KernelWorkspace._scale_update`
+(``out = base * (num / (den + EPSILON))``) and
+:meth:`~repro.engine.workspace.KernelWorkspace._descent_step`
+(``out = max(base - lr * grad, 0)``).  This module overrides only those
+two with ``@njit`` fused single-pass loops; the gemms stay numpy BLAS
+calls, untouched.
+
+**Bit-exactness contract.**  ``fastmath`` stays OFF.  Each fused loop
+performs, per entry, the *same rounding sequence* as the staged numpy
+version (``den + EPSILON`` → divide → multiply; scale → subtract →
+clamp), and IEEE-754 elementwise operations are correctly rounded
+independent of whether intermediates live in a scratch array or a
+register — so the compiled path is bit-identical to the workspace path.
+``tests/engine/test_backends.py`` enforces this whenever numba is
+installed; without numba this module still imports cleanly and
+resolution falls back to the pure-numpy workspace.
+
+Install via the packaging extra::
+
+    pip install .[compiled]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.updates import EPSILON
+from .workspace import KernelWorkspace
+
+__all__ = ["NUMBA_AVAILABLE", "NumbaWorkspace"]
+
+try:  # pragma: no cover - exercised only with the [compiled] extra
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Import-guard stub: decorating still works, calling does not."""
+
+        def _decorate(func):
+            return func
+
+        if args and callable(args[0]) and not kwargs:
+            return args[0]
+        return _decorate
+
+
+@njit(cache=True)
+def _fused_scale_update(base, num, den, out):  # pragma: no cover - compiled
+    """``out[i,j] = base * (num / (den + EPSILON))`` in one pass.
+
+    Three correctly-rounded operations per entry, in the staged order
+    of ``guarded_divide`` + ``np.multiply`` — bit-identical to the
+    numpy pipeline.
+    """
+    for i in range(base.shape[0]):
+        for j in range(base.shape[1]):
+            out[i, j] = base[i, j] * (num[i, j] / (den[i, j] + EPSILON))
+
+
+@njit(cache=True)
+def _fused_descent_step(base, grad, lr, out):  # pragma: no cover - compiled
+    """``out[i,j] = max(base - lr * grad, 0)`` in one pass.
+
+    Mirrors ``np.maximum(out, 0.0)`` exactly, including NaN
+    propagation (``maximum`` keeps the first operand when the
+    comparison is unordered).
+    """
+    for i in range(base.shape[0]):
+        for j in range(base.shape[1]):
+            x = base[i, j] - grad[i, j] * lr
+            if x >= 0.0:
+                out[i, j] = x
+            elif x < 0.0:
+                out[i, j] = 0.0
+            else:  # NaN: np.maximum propagates it
+                out[i, j] = x
+
+
+class NumbaWorkspace(KernelWorkspace):
+    """Dense workspace with the two per-element stages compiled.
+
+    Only constructible when numba imports (the ``numba`` backend's
+    availability probe gates construction); everything else — buffers,
+    memoization, graph terms, objectives — is inherited unchanged.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        if not NUMBA_AVAILABLE:  # pragma: no cover - guarded by probe
+            raise ImportError(
+                "kernel backend 'numba' requires the [compiled] extra "
+                "(pip install .[compiled])"
+            )
+        super().__init__(*args, **kwargs)
+
+    def _scale_update(self, base, num, den, out) -> None:
+        _fused_scale_update(base, num, den, out)
+
+    def _descent_step(self, base, grad, learning_rate: float, out) -> None:
+        _fused_descent_step(base, grad, float(learning_rate), out)

@@ -777,6 +777,180 @@ def record_kernel_baseline(
     return results
 
 
+def batched_benchmark(
+    *,
+    dataset: str = "lake",
+    methods: tuple[str, ...] = ("nmf", "smf", "smfl"),
+    seeds: int = 8,
+    n_rows: int = 120,
+    rank: int = 4,
+    missing_rate: float = 0.2,
+    max_iter: int = 150,
+    repeats: int = 3,
+    smoke: bool = False,
+) -> dict[str, Any]:
+    """Looped vs batched multi-fit on a Table IV-shaped cell grid.
+
+    Builds the same fits the runner's coalesced cells run - ``seeds``
+    seeded trials per MF-family method on the fast ``dataset`` slice -
+    and times the whole grid two ways cold: one ``model.fit`` per cell
+    (what the runner did before coalescing) versus
+    :func:`~repro.core.batched_fit.fit_models_batched` (what a
+    coalesced super-cell runs).  Both sides pay the identical per-fit
+    setup (trial preparation stays outside the clock; landmark
+    selection and graph construction stay inside), so ``per_cell_
+    speedup`` is the end-to-end per-cell improvement a cold-cache grid
+    sees.  Best-of-``repeats`` on fresh models each time.
+
+    Alongside the timings:
+
+    - **Equivalence** - one looped and one batched pass over the whole
+      grid, factors compared with ``array_equal`` (the bit-identity
+      contract of :mod:`repro.engine.batched`) plus per-fit ``n_iter``.
+    - **B=1 overhead** - a single fit routed through the batched entry
+      point (which delegates to the 2-D workspace kernels) versus a
+      plain ``model.fit``; the ratio bounds the cost of sending *every*
+      fit through the batched path.
+
+    ``smoke=True`` shrinks the grid to CI scale and relaxes the
+    wall-clock targets (speedup to break-even, B=1 overhead to 1.5x):
+    tiny shapes prove the machinery and the bit-identity contract, not
+    the dispatch-amortization throughput.  The correctness flags stay
+    at full strictness.
+    """
+    from ..baselines.registry import make_imputer
+    from ..core.batched_fit import fit_models_batched
+    from ..experiments.protocol import prepare_trial
+
+    if smoke:
+        seeds, n_rows = min(seeds, 3), min(n_rows, 60)
+        max_iter, repeats = min(max_iter, 25), min(repeats, 2)
+    speedup_target = 1.0 if smoke else 3.0
+    b1_limit = 1.5 if smoke else 1.05
+
+    trials = {
+        seed: prepare_trial(
+            dataset, missing_rate=missing_rate, seed=seed, fast=True,
+            n_rows=n_rows,
+        )
+        for seed in range(seeds)
+    }
+
+    def _jobs() -> list[tuple[Any, np.ndarray, np.ndarray]]:
+        jobs = []
+        for method in methods:
+            for seed, trial in trials.items():
+                model = make_imputer(
+                    method,
+                    n_spatial=trial.dataset.n_spatial,
+                    rank=rank,
+                    random_state=seed,
+                )
+                model.max_iter = max_iter
+                model.tol = 0.0
+                jobs.append((model, trial.x_missing, trial.mask))
+        return jobs
+
+    n_cells = len(methods) * seeds
+    looped_best = batched_best = float("inf")
+    for _ in range(repeats):
+        jobs = _jobs()
+        t0 = time.perf_counter()
+        for model, x, mask in jobs:
+            model.fit(x, mask)
+        looped_best = min(looped_best, time.perf_counter() - t0)
+        jobs = _jobs()
+        t0 = time.perf_counter()
+        fit_models_batched(jobs)
+        batched_best = min(batched_best, time.perf_counter() - t0)
+
+    # Equivalence pass: the runner's coalescing correctness contract.
+    looped_jobs, batched_jobs = _jobs(), _jobs()
+    for model, x, mask in looped_jobs:
+        model.fit(x, mask)
+    batched_reports = fit_models_batched(batched_jobs)
+    bit_identical = True
+    n_iter_match = True
+    max_dev = 0.0
+    for (ml, _, _), (mb, _, _), report in zip(
+        looped_jobs, batched_jobs, batched_reports
+    ):
+        bit_identical = bit_identical and bool(
+            np.array_equal(ml.u_, mb.u_) and np.array_equal(ml.v_, mb.v_)
+        )
+        n_iter_match = n_iter_match and report.n_iter == ml.n_iter_
+        max_dev = max(
+            max_dev,
+            float(np.abs(ml.u_ - mb.u_).max()),
+            float(np.abs(ml.v_ - mb.v_).max()),
+        )
+
+    # B=1 overhead: one fit through each path, best-of-repeats.
+    b1_plain = b1_batched = float("inf")
+    for _ in range(max(repeats, 2)):
+        (model, x, mask), = _jobs()[:1]
+        t0 = time.perf_counter()
+        model.fit(x, mask)
+        b1_plain = min(b1_plain, time.perf_counter() - t0)
+        job = _jobs()[:1]
+        t0 = time.perf_counter()
+        fit_models_batched(job)
+        b1_batched = min(b1_batched, time.perf_counter() - t0)
+    b1_ratio = b1_batched / max(b1_plain, 1e-12)
+
+    per_cell_speedup = looped_best / max(batched_best, 1e-12)
+    return {
+        "grid": {
+            "dataset": dataset,
+            "methods": list(methods),
+            "seeds": seeds,
+            "n_cells": n_cells,
+            "n_rows": n_rows,
+            "rank": rank,
+            "missing_rate": missing_rate,
+            "max_iter": max_iter,
+        },
+        "smoke": smoke,
+        "repeats": repeats,
+        "looped": {
+            "total_seconds": looped_best,
+            "per_cell_seconds": looped_best / n_cells,
+        },
+        "batched": {
+            "total_seconds": batched_best,
+            "per_cell_seconds": batched_best / n_cells,
+        },
+        "per_cell_speedup": per_cell_speedup,
+        "b1": {
+            "plain_seconds": b1_plain,
+            "batched_seconds": b1_batched,
+            "ratio": b1_ratio,
+        },
+        "equivalence": {
+            "bit_identical": bool(bit_identical),
+            "max_factor_deviation": max_dev,
+            "n_iter_match": bool(n_iter_match),
+        },
+        "acceptance": {
+            "batched_bit_identical": bool(bit_identical),
+            "n_iter_match": bool(n_iter_match),
+            f"per_cell_speedup_ge_{speedup_target:g}x": bool(
+                per_cell_speedup >= speedup_target
+            ),
+            f"b1_overhead_le_{b1_limit:g}x": bool(b1_ratio <= b1_limit),
+        },
+    }
+
+
+def record_batched_baseline(
+    path: str = "results/BENCH_batched.json", **kwargs: Any
+) -> dict[str, Any]:
+    """Run :func:`batched_benchmark` and write the result as JSON."""
+    results = batched_benchmark(**kwargs)
+    write_bench_json("batched", results, path=path)
+    return results
+
+
 def serving_benchmark(
     *,
     dataset: str = "lake",
@@ -994,6 +1168,13 @@ if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
         "results/BENCH_serving.json by default; see --out)",
     )
     parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="run the batched multi-fit benchmark - looped vs batched "
+        "cell grid, B=1 overhead, and the bit-identity contract "
+        "(writes results/BENCH_batched.json by default; see --out)",
+    )
+    parser.add_argument(
         "--oocore",
         action="store_true",
         help="run the out-of-core sharded-fit benchmark - "
@@ -1012,21 +1193,21 @@ if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="with --kernels/--serving: tiny shapes and short fits "
-        "for CI (correctness gates stay at full strictness)",
+        help="with --kernels/--serving/--batched: tiny shapes and "
+        "short fits for CI (correctness gates stay at full strictness)",
     )
     parser.add_argument(
         "--check",
         action="store_true",
-        help="with --kernels/--serving: exit nonzero when any "
-        "acceptance flag is False",
+        help="with --kernels/--serving/--batched: exit nonzero when "
+        "any acceptance flag is False",
     )
     parser.add_argument(
         "--out",
         default=None,
         metavar="PATH",
-        help="with --kernels/--serving: where to write the benchmark "
-        "JSON (default results/BENCH_<name>.json)",
+        help="with --kernels/--serving/--batched: where to write the "
+        "benchmark JSON (default results/BENCH_<name>.json)",
     )
     parser.add_argument(
         "--trace",
@@ -1108,6 +1289,40 @@ if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
                 f"imputations/s, latency p50 "
                 f"{serving['latency_p50_seconds']:.3e}s / p99 "
                 f"{serving['latency_p99_seconds']:.3e}s"
+            )
+            print(f"acceptance: {recorded['acceptance']}")
+            if cli_args.check and not all(recorded["acceptance"].values()):
+                exit_code = 1
+        elif cli_args.batched:
+            recorded = record_batched_baseline(
+                path=cli_args.out or "results/BENCH_batched.json",
+                smoke=cli_args.smoke,
+            )
+            grid = recorded["grid"]
+            equivalence = recorded["equivalence"]
+            b1 = recorded["b1"]
+            print(
+                f"grid: {grid['n_cells']} cells "
+                f"({'/'.join(grid['methods'])} x {grid['seeds']} seeds, "
+                f"rows={grid['n_rows']}, rank={grid['rank']}, "
+                f"iters={grid['max_iter']})"
+            )
+            print(
+                f"looped {recorded['looped']['total_seconds']:.3f}s "
+                f"({recorded['looped']['per_cell_seconds'] * 1e3:.1f}ms/cell)"
+                f" vs batched {recorded['batched']['total_seconds']:.3f}s "
+                f"({recorded['batched']['per_cell_seconds'] * 1e3:.1f}"
+                f"ms/cell): {recorded['per_cell_speedup']:.2f}x per cell"
+            )
+            print(
+                f"B=1 overhead {b1['ratio']:.3f}x (plain "
+                f"{b1['plain_seconds'] * 1e3:.1f}ms, via batched "
+                f"{b1['batched_seconds'] * 1e3:.1f}ms)"
+            )
+            print(
+                f"equivalence: bit_identical={equivalence['bit_identical']}"
+                f", max deviation {equivalence['max_factor_deviation']:.1e}"
+                f", n_iter_match={equivalence['n_iter_match']}"
             )
             print(f"acceptance: {recorded['acceptance']}")
             if cli_args.check and not all(recorded["acceptance"].values()):

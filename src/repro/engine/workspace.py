@@ -68,8 +68,17 @@ __all__ = [
     "resolve_kernel_path",
 ]
 
-KERNEL_PATHS = ("auto", "workspace", "sparse", "reference")
-"""Legal values of the models' ``kernel_path`` parameter."""
+KERNEL_PATHS = ("auto", "workspace", "sparse", "reference", "batched", "numba")
+"""Legal values of the models' ``kernel_path`` parameter.
+
+``"batched"`` and ``"numba"`` are registry seams (see
+:mod:`repro.engine.backends`): for a single fit ``"batched"`` resolves
+to the dense workspace (the batched engine only pays off across a
+multi-fit stack — see :mod:`repro.engine.batched`), and ``"numba"``
+resolves to the compiled fused-loop workspace when the optional
+``[compiled]`` extra is installed, falling back to the bit-identical
+dense workspace otherwise.
+"""
 
 SPARSE_DENSITY_THRESHOLD = 0.4
 """``auto`` picks the sparse path when ``observed.mean() <=`` this.
@@ -96,13 +105,27 @@ def resolve_kernel_path(
 ) -> str:
     """Resolve ``"auto"`` and validate explicit choices.
 
-    Returns one of ``"reference"``, ``"workspace"``, ``"sparse"``.
+    Returns one of ``"reference"``, ``"workspace"``, ``"sparse"``,
+    ``"numba"``.
     """
     if path not in KERNEL_PATHS:
         raise ValidationError(
             f"unknown kernel_path {path!r}; available: {KERNEL_PATHS}"
         )
     dense_capable = update_rule in ("multiplicative", "gradient")
+    if path == "batched":
+        # The batched entry point: a single fit runs the dense
+        # workspace kernels (bit-identical to "workspace"); only
+        # multi_fit stacks pay the 3-D layout.
+        return "workspace" if dense_capable else "reference"
+    if path == "numba":
+        from .backends import backend_available
+
+        if dense_capable and backend_available("numba"):
+            return "numba"
+        # Clean fallback: numba absent (or a rule it does not cover)
+        # behaves exactly like the pure-numpy dense path.
+        return "workspace" if dense_capable else "reference"
     if path == "sparse":
         if update_rule != "multiplicative":
             raise ValidationError(
@@ -309,6 +332,29 @@ class KernelWorkspace(BufferArena):
             self._buffers["degree_col"] = col
         return col
 
+    # ------------------------------------------- per-element backend seam
+    #
+    # The two element-wise stages every dense update ends with.  They
+    # are the *only* methods a compiled backend overrides (see
+    # NumbaWorkspace): the gemms stay numpy BLAS calls, and a fused
+    # per-element replacement of these stages performs the identical
+    # rounding sequence per entry, so overriding them preserves
+    # bit-exactness.  ``num``/``den``/``grad`` are caller-owned scratch
+    # and may be mutated freely.
+
+    def _scale_update(self, base, num, den, out) -> None:
+        """``out = base * (num / (den + EPSILON))``, staged as the
+        reference rules stage it."""
+        guarded_divide(num, den, out=num, denominator_is_scratch=True)
+        np.multiply(base, num, out=out)
+
+    def _descent_step(self, base, grad, learning_rate: float, out) -> None:
+        """``out = max(base - learning_rate * grad, 0)``, staged as the
+        reference rules stage it."""
+        grad *= learning_rate
+        np.subtract(base, grad, out=out)
+        np.maximum(out, 0.0, out=out)
+
     # ------------------------------------------------- shared graph terms
 
     def _add_graph_terms(self, num: np.ndarray, den: np.ndarray, u, ctx) -> None:
@@ -366,8 +412,7 @@ class KernelWorkspace(BufferArena):
         if ctx.lam != 0.0:
             self._add_graph_terms(num, den, u, ctx)
         out = self.out_for("u", u)
-        guarded_divide(num, den, out=num, denominator_is_scratch=True)
-        np.multiply(u, num, out=out)
+        self._scale_update(u, num, den, out)
         self._u_gen += 1
         return out
 
@@ -388,8 +433,7 @@ class KernelWorkspace(BufferArena):
             den = self.buf("den_v", (k, m - prefix))
             np.matmul(u.T, x_observed[:, live], out=num)
             np.matmul(u.T, recon_live, out=den)
-            guarded_divide(num, den, out=num, denominator_is_scratch=True)
-            np.multiply(v[:, live], num, out=out[:, live])
+            self._scale_update(v[:, live], num, den, out[:, live])
             self._v_gen += 1
             return out
         recon = self._masked_recon("recon", u, v)
@@ -397,8 +441,7 @@ class KernelWorkspace(BufferArena):
         den = self.buf("den_v_full", (k, m))
         np.matmul(u.T, x_observed, out=num)
         np.matmul(u.T, recon, out=den)
-        guarded_divide(num, den, out=num, denominator_is_scratch=True)
-        np.multiply(v, num, out=out)
+        self._scale_update(v, num, den, out)
         if ctx.frozen_v is not None:
             np.copyto(out, v, where=ctx.frozen_v)
         self._v_gen += 1
@@ -427,9 +470,7 @@ class KernelWorkspace(BufferArena):
             t *= 2.0 * ctx.lam
             grad += t
         out = self.out_for("u", u)
-        grad *= ctx.learning_rate
-        np.subtract(u, grad, out=out)
-        np.maximum(out, 0.0, out=out)
+        self._descent_step(u, grad, ctx.learning_rate, out)
         self._u_gen += 1
         return out
 
@@ -449,9 +490,7 @@ class KernelWorkspace(BufferArena):
         grad = self.buf("grad_v", (k, m))
         np.matmul(u2.T, recon, out=grad)
         out = self.out_for("v", v)
-        grad *= ctx.learning_rate
-        np.subtract(v, grad, out=out)
-        np.maximum(out, 0.0, out=out)
+        self._descent_step(v, grad, ctx.learning_rate, out)
         if ctx.frozen_v is not None:
             np.copyto(out, v, where=ctx.frozen_v)
         self._v_gen += 1
@@ -509,8 +548,7 @@ class KernelWorkspace(BufferArena):
         if ctx.lam != 0.0:
             self._add_graph_terms(num, den, u, ctx)
         out = self.out_for("u", u)
-        guarded_divide(num, den, out=num, denominator_is_scratch=True)
-        np.multiply(u, num, out=out)
+        self._scale_update(u, num, den, out)
         self._u_gen += 1
         return out
 
@@ -614,10 +652,13 @@ def build_kernel_workspace(
     )
     if resolved == "reference":
         return None
-    return KernelWorkspace(
+    # Resolved names map onto the backend registry; "numba" constructs
+    # the compiled-seam subclass, everything else the numpy workspace.
+    from .backends import get_backend
+
+    return get_backend(resolved).make_workspace(
         x_observed,
         observed,
-        mode="sparse" if resolved == "sparse" else "dense",
         frozen_prefix=frozen_prefix,
         v0=v0,
     )

@@ -50,6 +50,7 @@ from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.trace import collecting_tracer, get_tracer, trace_to, use_tracer
 from .cache import ResultCache, cache_key
 from .cells import run_cell
+from .coalesce import execute_multi_cell, plan_units
 from .manifest import build_manifest, write_manifest
 from .spec import RunGrid, RunnerConfig, RunSpec
 
@@ -290,35 +291,84 @@ def run_grid(grid: RunGrid, config: RunnerConfig | None = None) -> RunOutcome:
                         cell_key=keys[index],
                     )
 
-            if pending and config.jobs <= 1:
-                for index in pending:
-                    _cell_start(index)
-                    _complete(
-                        index,
-                        execute_cell(
-                            grid.cells[index],
-                            span_attrs={"index": index, "cell_key": keys[index]},
-                        ),
+            # Execution units: coalescing fuses compatible same-config
+            # cells into one batched super-cell (see repro.runner.
+            # coalesce); per-cell keys/records/cache entries above and
+            # below this block are untouched either way.
+            if config.coalesce:
+                units = plan_units(grid.cells, pending)
+            else:
+                units = [[index] for index in pending]
+
+            def _complete_unit(unit: list[int], result: dict[str, Any]) -> None:
+                """Fan a coalesced unit's payloads back out per cell."""
+                events = result.pop("trace_events", None)
+                if events and tracing:
+                    # One merge per unit; member spans inside the fused
+                    # batch are tagged with the unit's lead cell key.
+                    _merge_worker_events(
+                        tracer, events,
+                        parent_id=run_span.span_id,
+                        cell_key=keys[unit[0]],
                     )
+                for index, payload in zip(unit, result["payloads"]):
+                    _complete(index, payload)
+
+            if pending and config.jobs <= 1:
+                for unit in units:
+                    if len(unit) == 1:
+                        index = unit[0]
+                        _cell_start(index)
+                        _complete(
+                            index,
+                            execute_cell(
+                                grid.cells[index],
+                                span_attrs={
+                                    "index": index, "cell_key": keys[index]
+                                },
+                            ),
+                        )
+                    else:
+                        for index in unit:
+                            _cell_start(index)
+                        _complete_unit(
+                            unit,
+                            execute_multi_cell(
+                                [grid.cells[index] for index in unit],
+                                span_attrs={"indices": list(unit)},
+                            ),
+                        )
             elif pending:
-                workers = min(int(config.jobs), len(pending))
+                workers = min(int(config.jobs), len(units))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = {}
-                    for index in pending:
-                        _cell_start(index)
-                        futures[
-                            pool.submit(
-                                execute_cell, grid.cells[index], tracing,
-                                {"index": index},
+                    for unit in units:
+                        for index in unit:
+                            _cell_start(index)
+                        if len(unit) == 1:
+                            future = pool.submit(
+                                execute_cell, grid.cells[unit[0]], tracing,
+                                {"index": unit[0]},
                             )
-                        ] = index
+                        else:
+                            future = pool.submit(
+                                execute_multi_cell,
+                                [grid.cells[index] for index in unit],
+                                tracing,
+                                {"indices": list(unit)},
+                            )
+                        futures[future] = unit
                     remaining = set(futures)
                     while remaining:
                         done, remaining = wait(
                             remaining, return_when=FIRST_COMPLETED
                         )
                         for future in done:
-                            _complete(futures[future], future.result())
+                            unit = futures[future]
+                            if len(unit) == 1:
+                                _complete(unit[0], future.result())
+                            else:
+                                _complete_unit(unit, future.result())
 
             values = [record["value"] for record in records]  # type: ignore[index]
             with tracer.span("assemble", experiment=grid.experiment):

@@ -102,6 +102,14 @@ class RunnerConfig:
         off and costs nothing).  When an ambient tracer is already
         active - e.g. a CLI ``--trace`` flag wrapped the whole
         invocation - it wins and this field is ignored.
+    coalesce:
+        When ``True`` (default), compatible same-configuration cells
+        (same everything but the seed; see
+        :mod:`repro.runner.coalesce`) execute as one batched super-cell
+        through the 3-D multi-fit engine.  Per-cell results, cache
+        entries, and manifest records are unchanged either way - the
+        batched engine is bit-identical to looped fits - so this is a
+        pure wall-time switch.
     """
 
     jobs: int = 1
@@ -109,6 +117,7 @@ class RunnerConfig:
     resume: bool = True
     manifest_path: str | None = None
     trace_path: str | None = None
+    coalesce: bool = True
 
     def __post_init__(self) -> None:
         if int(self.jobs) < 1:

@@ -62,7 +62,7 @@ class TestGatePasses:
         assert report.failures == []
         assert report.passed
         assert report.compared_cells == baseline_sweep["n_cells"]
-        assert len(report.checked_files) == 9
+        assert len(report.checked_files) == 10
 
     def test_unmodified_tree_passes_via_cli(self):
         proc = _gate_cli(RESULTS_DIR, "--sweep", bench_path("sweep", RESULTS_DIR))

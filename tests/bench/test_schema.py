@@ -24,8 +24,8 @@ COMMITTED = sorted(
     + glob.glob(os.path.join(RESULTS_DIR, "SLO_*.json"))
 )
 EXPECTED_NAMES = (
-    "SLO_serving", "engine", "kernels", "obs", "oocore", "runner", "serving",
-    "stochastic", "sweep",
+    "SLO_serving", "batched", "engine", "kernels", "obs", "oocore", "runner",
+    "serving", "stochastic", "sweep",
 )
 
 

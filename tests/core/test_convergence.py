@@ -111,3 +111,36 @@ class TestConvergenceMonitor:
         monitor.record(1.0)
         monitor.record(0.999999)
         assert not monitor.converged
+
+    def test_increase_counter_is_cumulative_for_the_whole_fit(self):
+        # Regression: the counter must never reset on a later decrease.
+        # The batched engine keeps one monitor per stacked fit and
+        # relies on the count matching the looped fit whatever order
+        # the increases arrived in.
+        monitor = ConvergenceMonitor(max_iter=20, tol=0.0)
+        for value in (1.0, 1.5, 0.8, 1.2, 0.6, 0.5, 0.9):
+            monitor.record(value)
+        assert monitor.n_increases == 3
+        assert not monitor.converged
+
+    def test_nan_objective_counts_as_increase_never_convergence(self):
+        # "not a decrease" routes NaN into the increase branch: a
+        # diverging gradient fit must keep its increase tally rather
+        # than silently dropping non-finite evaluations.
+        monitor = ConvergenceMonitor(max_iter=10, tol=1e-3)
+        monitor.record(1.0)
+        monitor.record(float("nan"))
+        assert not monitor.converged
+        assert monitor.n_increases == 1
+
+    def test_increase_counting_identical_under_batched_dropout(self):
+        # Two monitors fed the same objective sequence agree exactly -
+        # the per-fit contract the batched dropout path depends on.
+        values = [5.0, 4.0, 4.5, 3.0, 3.5, 2.0]
+        solo = ConvergenceMonitor(max_iter=10, tol=0.0)
+        stacked = ConvergenceMonitor(max_iter=10, tol=0.0)
+        for value in values:
+            solo.record(value)
+            stacked.record(value)
+        assert solo.n_increases == stacked.n_increases == 2
+        assert solo.history == stacked.history

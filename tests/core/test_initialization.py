@@ -61,3 +61,61 @@ class TestInitFactors:
         x_observed, observed = masked_problem
         with pytest.raises(ValidationError, match="unknown init"):
             init_factors(x_observed, observed, 3, strategy="magic")
+
+    def test_strategies_include_nndsvd_variants(self):
+        assert "nndsvd" in INIT_STRATEGIES
+        assert "nndsvda" in INIT_STRATEGIES
+
+    def test_nndsvda_fills_with_data_mean(self, masked_problem):
+        # NIMFA's "average" variant: zero/near-zero entries become the
+        # observed data mean (denser start), not the tiny nndsvd floor.
+        x_observed, observed = masked_problem
+        u_basic, v_basic = init_factors(x_observed, observed, 4, strategy="nndsvd")
+        u_avg, v_avg = init_factors(x_observed, observed, 4, strategy="nndsvda")
+        mean = float(x_observed.mean())
+        floor = max(mean * 1e-2, 1e-6)
+        fill = max(mean, 1e-6)
+        # The average variant filled some (near-zero) entries with the
+        # data mean, and anything it filled was floored in plain nndsvd.
+        assert (u_avg == fill).any()
+        assert np.all(u_basic[u_avg == fill] == floor)
+        # The strictly-positive SVD skeleton agrees across variants.
+        large = u_basic > floor
+        assert np.array_equal(u_basic[large], u_avg[large])
+        assert (v_avg > 0).all()
+
+    def test_nndsvda_deterministic(self, masked_problem):
+        x_observed, observed = masked_problem
+        a = init_factors(x_observed, observed, 3, strategy="nndsvda")
+        b = init_factors(x_observed, observed, 3, strategy="nndsvda")
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_nndsvd_usable_by_single_and_batched_fits(self):
+        # The init seam feeds both entry points: a model constructed
+        # with init="nndsvd" runs identically looped or stacked.
+        from repro.core import MaskedNMF
+        from repro.core.batched_fit import fit_models_batched
+
+        rng = np.random.default_rng(0)
+        x = rng.random((20, 8)) * 3.0
+        jobs, loops = [], []
+        for seed in range(3):
+            noisy = x + rng.random((20, 8)) * 0.1
+            for target in (jobs, loops):
+                target.append(
+                    (
+                        MaskedNMF(
+                            rank=3, max_iter=15, tol=0.0,
+                            random_state=seed, init="nndsvd",
+                        ),
+                        noisy,
+                        None,
+                    )
+                )
+        fit_models_batched(jobs)
+        for model, data, _ in loops:
+            model.fit(data)
+        for (mb, _, _), (ml, _, _) in zip(jobs, loops):
+            assert np.array_equal(mb.u_, ml.u_)
+            assert np.array_equal(mb.v_, ml.v_)

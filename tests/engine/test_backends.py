@@ -1,0 +1,196 @@
+"""Unit tests for the kernel backend registry (repro.engine.backends).
+
+The seam's contract: named backends resolve through one registry, the
+optional compiled backend degrades to the pure-numpy workspace with *no
+behavior change* when numba is absent, and — when it is present — its
+fused loops are bit-exact against the workspace kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MaskedNMF
+from repro.engine.backends import (
+    Backend,
+    available_backends,
+    backend_available,
+    get_backend,
+    register_backend,
+)
+from repro.engine.numba_backend import NUMBA_AVAILABLE
+from repro.engine.workspace import (
+    KERNEL_PATHS,
+    KernelWorkspace,
+    build_kernel_workspace,
+    resolve_kernel_path,
+)
+from repro.exceptions import ValidationError
+
+
+def make_problem(seed=0, n=20, m=8, missing=0.3):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, m)) * 4.0
+    observed = rng.random((n, m)) >= missing
+    observed[0, 0] = True
+    return np.where(observed, x, np.nan)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = set(available_backends())
+        assert {"reference", "workspace", "sparse", "batched"} <= names
+        # numba is listed only when importable; either way it resolves.
+        assert get_backend("numba").name == "numba"
+        assert ("numba" in names) == NUMBA_AVAILABLE
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError, match="workspace"):
+            get_backend("cuda")
+
+    def test_register_and_construct_custom_backend(self):
+        calls = []
+
+        def factory(x_observed, observed, *, frozen_prefix=None, v0=None):
+            calls.append(x_observed.shape)
+            return KernelWorkspace(x_observed, observed, mode="dense")
+
+        register_backend(
+            Backend(name="test-custom", description="test", factory=factory)
+        )
+        try:
+            backend = get_backend("test-custom")
+            assert backend_available("test-custom")
+            ws = backend.make_workspace(
+                np.ones((4, 3)), np.ones((4, 3), dtype=bool)
+            )
+            assert isinstance(ws, KernelWorkspace)
+            assert calls == [(4, 3)]
+        finally:
+            from repro.engine import backends
+
+            backends._REGISTRY.pop("test-custom", None)
+
+    def test_numba_availability_matches_import(self):
+        assert backend_available("numba") == NUMBA_AVAILABLE
+
+
+class TestResolution:
+    def test_kernel_paths_include_new_names(self):
+        assert "batched" in KERNEL_PATHS
+        assert "numba" in KERNEL_PATHS
+
+    def test_batched_resolves_to_workspace(self):
+        observed = np.ones((6, 4), dtype=bool)
+        assert (
+            resolve_kernel_path(
+                "batched", update_rule="multiplicative", observed=observed
+            )
+            == "workspace"
+        )
+        # Rules without a dense workspace fall back to reference.
+        assert (
+            resolve_kernel_path("batched", update_rule="sgd", observed=observed)
+            == "reference"
+        )
+
+    def test_numba_resolution_degrades_cleanly(self):
+        observed = np.ones((6, 4), dtype=bool)
+        resolved = resolve_kernel_path(
+            "numba", update_rule="multiplicative", observed=observed
+        )
+        assert resolved == ("numba" if NUMBA_AVAILABLE else "workspace")
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_kernel_path(
+                "gpu", update_rule="multiplicative",
+                observed=np.ones((2, 2), dtype=bool),
+            )
+
+
+class TestNumbaFallback:
+    """kernel_path='numba' with numba absent == the workspace path."""
+
+    def test_fit_is_bit_identical_to_workspace(self):
+        x = make_problem(seed=3)
+        via_numba = MaskedNMF(
+            rank=3, max_iter=30, tol=0.0, random_state=3, kernel_path="numba"
+        ).fit(x)
+        via_workspace = MaskedNMF(
+            rank=3, max_iter=30, tol=0.0, random_state=3, kernel_path="workspace"
+        ).fit(x)
+        if not NUMBA_AVAILABLE:
+            assert np.array_equal(via_numba.u_, via_workspace.u_)
+            assert np.array_equal(via_numba.v_, via_workspace.v_)
+            assert (
+                via_numba.objective_history_
+                == via_workspace.objective_history_
+            )
+
+    def test_build_workspace_type(self):
+        x = make_problem(seed=1)
+        observed = ~np.isnan(x)
+        ws = build_kernel_workspace(
+            np.where(observed, x, 0.0),
+            observed,
+            kernel_path="numba",
+            update_rule="multiplicative",
+        )
+        if NUMBA_AVAILABLE:
+            from repro.engine.numba_backend import NumbaWorkspace
+
+            assert isinstance(ws, NumbaWorkspace)
+        else:
+            assert type(ws) is KernelWorkspace
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+class TestNumbaBitExactness:
+    """The compiled-backend gate: fused loops vs workspace kernels.
+
+    Runs only under the ``[compiled]`` extra (the CI compiled-backend
+    job); the EPSILON-guarded scale update and the clamped descent step
+    are three correctly-rounded float ops either way, so the contract
+    is bit-exactness, not tolerance.
+    """
+
+    @pytest.mark.parametrize("update_rule", ["multiplicative", "gradient"])
+    def test_fit_bit_exact_vs_workspace(self, update_rule):
+        x = make_problem(seed=7)
+        kwargs = dict(rank=3, max_iter=40, tol=0.0, random_state=7,
+                      update_rule=update_rule)
+        if update_rule == "gradient":
+            kwargs["learning_rate"] = 1e-4
+        a = MaskedNMF(kernel_path="numba", **kwargs).fit(x)
+        b = MaskedNMF(kernel_path="workspace", **kwargs).fit(x)
+        assert np.array_equal(a.u_, b.u_)
+        assert np.array_equal(a.v_, b.v_)
+        assert a.objective_history_ == b.objective_history_
+
+    def test_fused_kernels_bit_exact_elementwise(self):
+        from repro.core.updates import EPSILON, guarded_divide
+        from repro.engine.numba_backend import (
+            _fused_descent_step,
+            _fused_scale_update,
+        )
+
+        rng = np.random.default_rng(0)
+        base = rng.random((50, 7))
+        num = rng.random((50, 7))
+        den = rng.random((50, 7))
+        den[::5] = 0.0  # exercise the EPSILON guard
+        expected_num = num.copy()
+        guarded_divide(num, den, out=expected_num, denominator_is_scratch=True)
+        expected = base * expected_num
+        out = np.empty_like(base)
+        _fused_scale_update(base, num.copy(), den, out)
+        assert np.array_equal(out, expected)
+
+        grad = rng.random((50, 7)) - 0.5
+        lr = 1e-3
+        expected = np.maximum(base - grad * lr, 0.0)
+        out = np.empty_like(base)
+        _fused_descent_step(base, grad, lr, out)
+        assert np.array_equal(out, expected)
